@@ -1,0 +1,66 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each benchmark file regenerates one table or figure of the paper and prints
+the corresponding rows.  Helpers here pick, for a given tool, the largest
+parallel factor whose design still fits the target platform — matching the
+paper's methodology of comparing tools under the same resource budget.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.baselines import compile_scalehls_baseline
+from repro.estimation import get_platform
+from repro.hida import HidaOptions, compile_module
+
+__all__ = ["fit_hida", "fit_scalehls", "dsp_budget_of"]
+
+
+def dsp_budget_of(platform_name):
+    return get_platform(platform_name).dsps
+
+
+def fit_hida(build_module, platform_name, factors=(16, 32, 64, 128, 256), **options):
+    """Compile with HIDA at the largest parallel factor fitting the DSP budget."""
+    budget = dsp_budget_of(platform_name)
+    best = None
+    for factor in factors:
+        result = compile_module(
+            build_module(),
+            HidaOptions(platform=platform_name, max_parallel_factor=factor, **options),
+        )
+        if result.estimate.resources.dsp <= budget:
+            if best is None or result.throughput > best.throughput:
+                best = result
+        else:
+            break
+    if best is None:
+        best = compile_module(
+            build_module(),
+            HidaOptions(platform=platform_name, max_parallel_factor=factors[0], **options),
+        )
+    return best
+
+
+def fit_scalehls(build_module, platform_name, factors=(4, 8, 16, 32, 64, 128)):
+    """Compile the ScaleHLS baseline at the largest factor fitting the DSP budget."""
+    budget = dsp_budget_of(platform_name)
+    best = None
+    for factor in factors:
+        result = compile_scalehls_baseline(
+            build_module(), platform=platform_name, max_parallel_factor=factor
+        )
+        if result.estimate.resources.dsp <= budget:
+            if best is None or result.throughput > best.throughput:
+                best = result
+        else:
+            break
+    if best is None:
+        best = compile_scalehls_baseline(
+            build_module(), platform=platform_name, max_parallel_factor=factors[0]
+        )
+    return best

@@ -1,0 +1,50 @@
+"""Figure 9: on-chip memory utilization of HIDA vs ScaleHLS.
+
+ScaleHLS must keep every intermediate result (and all weights) on-chip,
+while HIDA tiles large buffers into external memory and only caches small
+tiles; the figure reports the resulting BRAM reduction factor per model.
+"""
+
+from conftest import fit_hida, fit_scalehls
+from repro.estimation import memory_reduction
+from repro.evaluation import format_table
+from repro.frontend.nn import build_model
+
+PLATFORM = "vu9p-slr"
+MODELS = ["resnet18", "mobilenet", "vgg16", "mlp"]
+
+
+def _run_fig9():
+    rows = []
+    for name in MODELS:
+        hida = fit_hida(lambda: build_model(name), PLATFORM, factors=(32, 64, 128))
+        scalehls = fit_scalehls(lambda: build_model(name), PLATFORM, factors=(8, 16, 32))
+        rows.append({
+            "model": name,
+            "hida_bram": hida.estimate.resources.bram,
+            "scalehls_bram": scalehls.estimate.resources.bram,
+            "reduction": memory_reduction(
+                scalehls.estimate.resources.bram, hida.estimate.resources.bram
+            ),
+        })
+    return rows
+
+
+def test_fig9_memory_reduction(benchmark):
+    rows_data = benchmark.pedantic(_run_fig9, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["Model", "HIDA BRAM (18K)", "ScaleHLS BRAM (18K)", "Reduction"],
+        [
+            [r["model"], round(r["hida_bram"]), round(r["scalehls_bram"]), f"{r['reduction']:.1f}x"]
+            for r in rows_data
+        ],
+        title="Figure 9: on-chip memory utilization vs ScaleHLS",
+    ))
+
+    # The paper reports 41.5x - 75.6x reductions; the shape requirement is a
+    # consistently large (order-of-magnitude) reduction on every model.
+    for row in rows_data:
+        assert row["reduction"] > 5.0, f"{row['model']} must show a large memory reduction"
+    assert max(r["reduction"] for r in rows_data) > 20.0

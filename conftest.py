@@ -1,0 +1,13 @@
+"""Ensure the in-tree package is importable when the repo is not installed.
+
+The environment has no network access and no `wheel` package, so
+``pip install -e .`` cannot build an editable wheel.  Adding ``src/`` to
+``sys.path`` here keeps ``pytest`` working either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

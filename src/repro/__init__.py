@@ -1,0 +1,48 @@
+"""HIDA: a hierarchical dataflow compiler for high-level synthesis.
+
+A from-scratch Python reproduction of the ASPLOS 2024 paper *HIDA: A
+Hierarchical Dataflow Compiler for High-Level Synthesis* (Ye, Jun, Chen).
+
+The package layers:
+
+* :mod:`repro.ir` — a compact SSA IR kernel (the MLIR substrate);
+* :mod:`repro.dialects` — affine/arith/memref/linalg/scf/tensor dialects plus
+  the HIDA Functional/Structural dataflow dialect;
+* :mod:`repro.frontend` — PyTorch-like model tracing and a C++-style loop
+  kernel builder (the Torch-MLIR / Polygeist substitutes);
+* :mod:`repro.transforms` — bufferization, loop transforms, array partition;
+* :mod:`repro.hida` — the HIDA-OPT optimizer and end-to-end pipeline;
+* :mod:`repro.estimation` — the Vitis-HLS-style QoR model, platform specs and
+  the coarse-grained dataflow simulator;
+* :mod:`repro.baselines` — ScaleHLS / Vitis / DNNBuilder / SOFF baselines and
+  the IA/CA ablation modes;
+* :mod:`repro.backend` — the HLS C++ emitter;
+* :mod:`repro.evaluation` — the experiment harnesses behind every table and
+  figure of the paper.
+
+Quickstart::
+
+    from repro import HidaCompiler
+
+    compiler = HidaCompiler()
+    result = compiler.compile_model("resnet18", max_parallel_factor=64)
+    print(result.summary())
+"""
+
+from .backend import emit_hls_cpp
+from .estimation import Platform, QoREstimator, get_platform
+from .hida import CompileResult, HidaCompiler, HidaOptions, compile_module
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileResult",
+    "HidaCompiler",
+    "HidaOptions",
+    "compile_module",
+    "emit_hls_cpp",
+    "Platform",
+    "QoREstimator",
+    "get_platform",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""repro.backend — code generation back-ends (HLS C++ emitter)."""
+
+from .hls_cpp_emitter import HlsCppEmitter, emit_hls_cpp
+
+__all__ = ["HlsCppEmitter", "emit_hls_cpp"]

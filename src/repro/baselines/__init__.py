@@ -1,0 +1,25 @@
+"""repro.baselines — comparison systems used in the paper's evaluation."""
+
+from .ablation import ABLATION_MODES, AblationOutcome, run_ablation_mode
+from .dnnbuilder import (
+    DNNBuilderResult,
+    UnsupportedModelError,
+    compile_dnnbuilder_baseline,
+)
+from .scalehls import ScaleHLSResult, compile_scalehls_baseline
+from .soff import SOFF_THROUGHPUT_SAMPLES_PER_S, soff_throughput
+from .vitis import compile_vitis_baseline
+
+__all__ = [
+    "ABLATION_MODES",
+    "AblationOutcome",
+    "run_ablation_mode",
+    "DNNBuilderResult",
+    "UnsupportedModelError",
+    "compile_dnnbuilder_baseline",
+    "ScaleHLSResult",
+    "compile_scalehls_baseline",
+    "SOFF_THROUGHPUT_SAMPLES_PER_S",
+    "soff_throughput",
+    "compile_vitis_baseline",
+]

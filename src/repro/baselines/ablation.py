@@ -1,0 +1,105 @@
+"""Ablation modes of the HIDA parallelization (Figure 11, Tables 5 and 6).
+
+Four configurations are compared: the full intensity- and connection-aware
+approach (IA+CA), intensity-only (IA), connection-only (CA) and the naive
+mode that applies the maximum parallel factor to every node with no
+alignment.  All four run through the identical HIDA pipeline; only the
+parallelization policy differs, plus a penalty model for the
+connection-unaware modes whose misaligned unroll factors force the compiler
+to emit fine-grained access control logic (the "flawed designs" the paper
+observes at large parallel factors).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..estimation.platform import get_platform
+from ..hida.pipeline import CompileResult, HidaOptions, compile_module
+from ..ir.builtin import ModuleOp
+
+__all__ = ["ABLATION_MODES", "AblationOutcome", "run_ablation_mode"]
+
+#: Mode name -> (intensity_aware, connection_aware).
+ABLATION_MODES: Dict[str, tuple] = {
+    "ia+ca": (True, True),
+    "ia": (True, False),
+    "ca": (False, True),
+    "naive": (False, False),
+}
+
+#: Extra DSPs spent on address calculation per misaligned connection.
+_MISALIGNMENT_DSP = 8.0
+#: Throughput degradation per misaligned connection (control-logic stalls).
+_MISALIGNMENT_SLOWDOWN = 1.6
+
+
+@dataclasses.dataclass
+class AblationOutcome:
+    """One (mode, parallel factor) sample of the ablation study."""
+
+    mode: str
+    max_parallel_factor: int
+    throughput: float
+    dsp: float
+    bram: float
+    lut: float
+    misalignments: int
+    result: CompileResult
+
+    def summary(self) -> dict:
+        return {
+            "mode": self.mode,
+            "parallel_factor": self.max_parallel_factor,
+            "throughput": self.throughput,
+            "dsp": self.dsp,
+            "bram": self.bram,
+            "lut": self.lut,
+            "misalignments": self.misalignments,
+        }
+
+
+def run_ablation_mode(
+    module: ModuleOp,
+    mode: str,
+    max_parallel_factor: int,
+    platform: str = "vu9p-slr",
+    tile_size: int = 16,
+) -> AblationOutcome:
+    """Compile ``module`` under one ablation mode and apply misalignment costs."""
+    if mode not in ABLATION_MODES:
+        raise KeyError(f"unknown ablation mode {mode!r}; options: {list(ABLATION_MODES)}")
+    intensity_aware, connection_aware = ABLATION_MODES[mode]
+    options = HidaOptions(
+        platform=platform,
+        max_parallel_factor=max_parallel_factor,
+        tile_size=tile_size,
+        intensity_aware=intensity_aware,
+        connection_aware=connection_aware,
+    )
+    result = compile_module(module, options)
+    resources = result.estimate.resources
+    throughput = result.throughput
+    dsp = resources.dsp
+    lut = resources.lut
+    bram = resources.bram
+
+    misalignments = result.misalignments
+    if misalignments and not connection_aware:
+        # Misaligned inter-node memory layouts require per-element address
+        # resolution and serialization of conflicting bank accesses.
+        dsp += _MISALIGNMENT_DSP * misalignments
+        lut += 400.0 * misalignments
+        throughput /= _MISALIGNMENT_SLOWDOWN ** min(misalignments, 8)
+
+    return AblationOutcome(
+        mode=mode,
+        max_parallel_factor=max_parallel_factor,
+        throughput=throughput,
+        dsp=dsp,
+        bram=bram,
+        lut=lut,
+        misalignments=misalignments,
+        result=result,
+    )

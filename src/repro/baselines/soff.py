@@ -1,0 +1,29 @@
+"""SOFF reference numbers for the C++ kernel comparison (Table 7).
+
+The HIDA paper ports the SOFF [37] results directly from the SOFF paper
+(which compared against SDAccel, the previous name of Vitis); we keep the
+same ported throughput numbers as reference constants so the Table 7
+harness can report the same columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["SOFF_THROUGHPUT_SAMPLES_PER_S", "soff_throughput"]
+
+#: Throughput (samples per second) reported for SOFF in Table 7 of the HIDA
+#: paper.  Kernels SOFF did not report are absent.
+SOFF_THROUGHPUT_SAMPLES_PER_S: Dict[str, float] = {
+    "2mm": 30.67,
+    "atax": 2173.17,
+    "bicg": 2295.75,
+    "correlation": 3.96,
+    "gesummv": 3466.70,
+    "mvt": 870.01,
+}
+
+
+def soff_throughput(kernel: str) -> Optional[float]:
+    """SOFF throughput for a kernel, or None when SOFF did not report it."""
+    return SOFF_THROUGHPUT_SAMPLES_PER_S.get(kernel)

@@ -1,0 +1,39 @@
+"""The Vitis-HLS-only baseline ("solely optimized by Vitis HLS").
+
+Vitis HLS applies loop pipelining to innermost loops automatically but does
+not unroll loops, partition arrays, restructure the program into dataflow
+tasks, or manage external memory tiling.  The baseline therefore:
+
+* pipelines every innermost loop (II = 1 target),
+* keeps every loop at unroll factor 1,
+* executes all loop bands sequentially (no dataflow overlap).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..estimation.platform import Platform, get_platform
+from ..estimation.qor import DesignEstimate, QoREstimator
+from ..ir.builtin import ModuleOp
+from ..transforms.loop_transforms import pipeline_innermost_loops
+
+__all__ = ["compile_vitis_baseline"]
+
+
+def compile_vitis_baseline(
+    module: ModuleOp, platform: str = "zu3eg"
+) -> DesignEstimate:
+    """Estimate ``module`` as Vitis HLS would compile it out of the box."""
+    from ..dialects import linalg
+    from ..transforms.linalg_to_affine import lower_linalg_to_affine
+
+    target = get_platform(platform)
+    if any(isinstance(op, linalg.LinalgOp) for op in module.walk()):
+        lower_linalg_to_affine(module)
+    for func in module.functions:
+        pipeline_innermost_loops(func)
+    estimator = QoREstimator(target)
+    func = module.functions[0]
+    return estimator.estimate_function(func, dataflow=False)

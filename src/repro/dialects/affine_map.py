@@ -1,0 +1,383 @@
+"""Affine expressions and (semi-)affine maps.
+
+HIDA represents loop bounds, memory access functions, buffer partition
+fashions and data layouts as affine maps; the partition/layout attributes of
+a ``buffer`` op are "designed to be converted to semi-affine maps".  This
+module provides a small symbolic affine expression language with
+simplification, evaluation, and composition, sufficient for dependence
+analysis and for the permutation/scaling-map construction of HIDA-OPT.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "AffineExpr",
+    "AffineDimExpr",
+    "AffineSymbolExpr",
+    "AffineConstantExpr",
+    "AffineBinaryExpr",
+    "AffineMap",
+    "dim",
+    "symbol",
+    "constant",
+]
+
+Number = Union[int, Fraction]
+
+
+class AffineExpr:
+    """Base class of affine expressions over dims (d0, d1, ...) and symbols."""
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other: "ExprLike") -> "AffineExpr":
+        return _binary("add", self, _wrap(other))
+
+    def __radd__(self, other: "ExprLike") -> "AffineExpr":
+        return _binary("add", _wrap(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "AffineExpr":
+        return _binary("add", self, _binary("mul", _wrap(other), constant(-1)))
+
+    def __rsub__(self, other: "ExprLike") -> "AffineExpr":
+        return _binary("add", _wrap(other), _binary("mul", self, constant(-1)))
+
+    def __mul__(self, other: "ExprLike") -> "AffineExpr":
+        return _binary("mul", self, _wrap(other))
+
+    def __rmul__(self, other: "ExprLike") -> "AffineExpr":
+        return _binary("mul", _wrap(other), self)
+
+    def __floordiv__(self, other: "ExprLike") -> "AffineExpr":
+        return _binary("floordiv", self, _wrap(other))
+
+    def __mod__(self, other: "ExprLike") -> "AffineExpr":
+        return _binary("mod", self, _wrap(other))
+
+    def ceildiv(self, other: "ExprLike") -> "AffineExpr":
+        return _binary("ceildiv", self, _wrap(other))
+
+    # --------------------------------------------------------------- queries
+    def evaluate(
+        self,
+        dims: Sequence[Number] = (),
+        symbols: Sequence[Number] = (),
+    ) -> Number:
+        """Evaluate the expression with concrete dim/symbol values."""
+        raise NotImplementedError
+
+    def used_dims(self) -> Tuple[int, ...]:
+        """Sorted tuple of dim positions referenced by this expression."""
+        dims: set = set()
+        self._collect_dims(dims)
+        return tuple(sorted(dims))
+
+    def _collect_dims(self, out: set) -> None:
+        raise NotImplementedError
+
+    def coefficient_of(self, dim_position: int) -> Fraction:
+        """Linear coefficient of dim ``dim_position`` (0 if absent/non-linear)."""
+        base = self.evaluate(
+            [0] * (dim_position + 1 + max((0,) + self.used_dims())),
+        )
+        probe_dims = [0] * (dim_position + 1 + max((0,) + self.used_dims()))
+        probe_dims[dim_position] = 1
+        return Fraction(self.evaluate(probe_dims)) - Fraction(base)
+
+    def is_constant(self) -> bool:
+        return not self.used_dims() and not self._uses_symbols()
+
+    def _uses_symbols(self) -> bool:
+        return False
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        return "affine_expr"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+ExprLike = Union[AffineExpr, int]
+
+
+def _wrap(value: ExprLike) -> AffineExpr:
+    if isinstance(value, AffineExpr):
+        return value
+    return AffineConstantExpr(int(value))
+
+
+@dataclasses.dataclass(frozen=True)
+class AffineDimExpr(AffineExpr):
+    """A dimension (typically a loop induction variable), ``d<position>``."""
+
+    position: int
+
+    def evaluate(self, dims: Sequence[Number] = (), symbols: Sequence[Number] = ()) -> Number:
+        return dims[self.position]
+
+    def _collect_dims(self, out: set) -> None:
+        out.add(self.position)
+
+    def __str__(self) -> str:
+        return f"d{self.position}"
+
+
+@dataclasses.dataclass(frozen=True)
+class AffineSymbolExpr(AffineExpr):
+    """A symbol (a runtime-invariant parameter), ``s<position>``."""
+
+    position: int
+
+    def evaluate(self, dims: Sequence[Number] = (), symbols: Sequence[Number] = ()) -> Number:
+        return symbols[self.position]
+
+    def _collect_dims(self, out: set) -> None:
+        return None
+
+    def _uses_symbols(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"s{self.position}"
+
+
+@dataclasses.dataclass(frozen=True)
+class AffineConstantExpr(AffineExpr):
+    """An integer constant."""
+
+    value: int
+
+    def evaluate(self, dims: Sequence[Number] = (), symbols: Sequence[Number] = ()) -> Number:
+        return self.value
+
+    def _collect_dims(self, out: set) -> None:
+        return None
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+_BINARY_SYMBOLS = {
+    "add": "+",
+    "mul": "*",
+    "floordiv": "floordiv",
+    "ceildiv": "ceildiv",
+    "mod": "mod",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class AffineBinaryExpr(AffineExpr):
+    """A binary affine (or semi-affine, for div/mod) expression."""
+
+    kind: str
+    lhs: AffineExpr
+    rhs: AffineExpr
+
+    def evaluate(self, dims: Sequence[Number] = (), symbols: Sequence[Number] = ()) -> Number:
+        lhs = self.lhs.evaluate(dims, symbols)
+        rhs = self.rhs.evaluate(dims, symbols)
+        if self.kind == "add":
+            return lhs + rhs
+        if self.kind == "mul":
+            return lhs * rhs
+        if self.kind == "floordiv":
+            return int(lhs) // int(rhs)
+        if self.kind == "ceildiv":
+            return -(-int(lhs) // int(rhs))
+        if self.kind == "mod":
+            return int(lhs) % int(rhs)
+        raise ValueError(f"unknown affine binary kind {self.kind!r}")
+
+    def _collect_dims(self, out: set) -> None:
+        self.lhs._collect_dims(out)
+        self.rhs._collect_dims(out)
+
+    def _uses_symbols(self) -> bool:
+        return self.lhs._uses_symbols() or self.rhs._uses_symbols()
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {_BINARY_SYMBOLS[self.kind]} {self.rhs})"
+
+
+def _binary(kind: str, lhs: AffineExpr, rhs: AffineExpr) -> AffineExpr:
+    """Create a binary expression with light constant folding."""
+    if isinstance(lhs, AffineConstantExpr) and isinstance(rhs, AffineConstantExpr):
+        return AffineConstantExpr(
+            int(AffineBinaryExpr(kind, lhs, rhs).evaluate())
+        )
+    if kind == "add":
+        if isinstance(lhs, AffineConstantExpr) and lhs.value == 0:
+            return rhs
+        if isinstance(rhs, AffineConstantExpr) and rhs.value == 0:
+            return lhs
+    if kind == "mul":
+        for a, b in ((lhs, rhs), (rhs, lhs)):
+            if isinstance(a, AffineConstantExpr):
+                if a.value == 0:
+                    return AffineConstantExpr(0)
+                if a.value == 1:
+                    return b
+    return AffineBinaryExpr(kind, lhs, rhs)
+
+
+def dim(position: int) -> AffineDimExpr:
+    """Shorthand for :class:`AffineDimExpr`."""
+    return AffineDimExpr(position)
+
+
+def symbol(position: int) -> AffineSymbolExpr:
+    """Shorthand for :class:`AffineSymbolExpr`."""
+    return AffineSymbolExpr(position)
+
+
+def constant(value: int) -> AffineConstantExpr:
+    """Shorthand for :class:`AffineConstantExpr`."""
+    return AffineConstantExpr(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class AffineMap:
+    """A function mapping ``num_dims`` dims and ``num_symbols`` symbols to results."""
+
+    num_dims: int
+    num_symbols: int
+    results: Tuple[AffineExpr, ...]
+
+    def __init__(
+        self,
+        num_dims: int,
+        num_symbols: int,
+        results: Sequence[ExprLike],
+    ) -> None:
+        object.__setattr__(self, "num_dims", num_dims)
+        object.__setattr__(self, "num_symbols", num_symbols)
+        object.__setattr__(
+            self, "results", tuple(_wrap(r) for r in results)
+        )
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def identity(cls, rank: int) -> "AffineMap":
+        return cls(rank, 0, [dim(i) for i in range(rank)])
+
+    @classmethod
+    def constant_map(cls, values: Sequence[int]) -> "AffineMap":
+        return cls(0, 0, [constant(v) for v in values])
+
+    @classmethod
+    def permutation(cls, order: Sequence[int]) -> "AffineMap":
+        return cls(len(order), 0, [dim(i) for i in order])
+
+    @classmethod
+    def from_callable(cls, rank: int, fn) -> "AffineMap":
+        """Build a map from a Python callable over dim expressions."""
+        exprs = fn(*[dim(i) for i in range(rank)])
+        if isinstance(exprs, AffineExpr):
+            exprs = [exprs]
+        return cls(rank, 0, list(exprs))
+
+    # --------------------------------------------------------------- queries
+    @property
+    def num_results(self) -> int:
+        return len(self.results)
+
+    def evaluate(
+        self,
+        dims: Sequence[Number] = (),
+        symbols: Sequence[Number] = (),
+    ) -> Tuple[Number, ...]:
+        if len(dims) != self.num_dims:
+            raise ValueError(
+                f"map expects {self.num_dims} dims, got {len(dims)}"
+            )
+        return tuple(r.evaluate(dims, symbols) for r in self.results)
+
+    def is_identity(self) -> bool:
+        if self.num_results != self.num_dims:
+            return False
+        return all(
+            isinstance(r, AffineDimExpr) and r.position == i
+            for i, r in enumerate(self.results)
+        )
+
+    def is_permutation(self) -> bool:
+        positions = []
+        for r in self.results:
+            if not isinstance(r, AffineDimExpr):
+                return False
+            positions.append(r.position)
+        return sorted(positions) == list(range(self.num_dims))
+
+    def used_dims(self) -> Tuple[int, ...]:
+        dims_used: set = set()
+        for r in self.results:
+            r._collect_dims(dims_used)
+        return tuple(sorted(dims_used))
+
+    def result_dim_positions(self) -> List[Optional[int]]:
+        """For each result, the single dim it depends on (or None).
+
+        Used by the connection analysis of HIDA-OPT to derive permutation
+        maps: a result like ``d2 * 2`` maps to dim position 2.
+        """
+        positions: List[Optional[int]] = []
+        for r in self.results:
+            used = r.used_dims()
+            positions.append(used[0] if len(used) == 1 else None)
+        return positions
+
+    def result_strides(self) -> List[Fraction]:
+        """For each result, the linear coefficient of its single used dim.
+
+        Results that use no dim or more than one dim report stride 0.
+        """
+        strides: List[Fraction] = []
+        for r in self.results:
+            used = r.used_dims()
+            if len(used) != 1:
+                strides.append(Fraction(0))
+                continue
+            pos = used[0]
+            zeros = [0] * self.num_dims
+            probe = [0] * self.num_dims
+            probe[pos] = 1
+            base = Fraction(r.evaluate(zeros))
+            strides.append(Fraction(r.evaluate(probe)) - base)
+        return strides
+
+    # ------------------------------------------------------------- transform
+    def compose(self, other: "AffineMap") -> "AffineMap":
+        """Return ``self ∘ other`` (apply other first, then self)."""
+        if self.num_dims != other.num_results:
+            raise ValueError(
+                f"cannot compose: {self.num_dims} dims vs {other.num_results} results"
+            )
+        substituted = [
+            _substitute(r, other.results) for r in self.results
+        ]
+        return AffineMap(other.num_dims, other.num_symbols, substituted)
+
+    def __str__(self) -> str:
+        dims_str = ", ".join(f"d{i}" for i in range(self.num_dims))
+        syms_str = ", ".join(f"s{i}" for i in range(self.num_symbols))
+        syms = f"[{syms_str}]" if self.num_symbols else ""
+        res = ", ".join(str(r) for r in self.results)
+        return f"({dims_str}){syms} -> ({res})"
+
+
+def _substitute(expr: AffineExpr, dim_replacements: Sequence[AffineExpr]) -> AffineExpr:
+    if isinstance(expr, AffineDimExpr):
+        return dim_replacements[expr.position]
+    if isinstance(expr, (AffineConstantExpr, AffineSymbolExpr)):
+        return expr
+    if isinstance(expr, AffineBinaryExpr):
+        return _binary(
+            expr.kind,
+            _substitute(expr.lhs, dim_replacements),
+            _substitute(expr.rhs, dim_replacements),
+        )
+    raise TypeError(f"unknown affine expression {expr!r}")

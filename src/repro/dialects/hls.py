@@ -1,0 +1,204 @@
+"""HLS directive and primitive IR (ScaleHLS-style Directive/Primitive ops).
+
+HIDA reuses the directive-level IR of ScaleHLS to express HLS pragmas such as
+loop pipelining, loop unrolling and array partitioning.  In this
+reproduction, pipelining and unrolling live as attributes of
+``affine.for`` (see :class:`~repro.dialects.affine.AffineForOp`); this module
+defines the array partition / interface directives and explicit primitive
+ops that have no natural home on a loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+from ..ir.core import Operation, Value, register_operation
+from ..ir.types import MemRefType
+
+__all__ = [
+    "PartitionKind",
+    "ArrayPartition",
+    "ArrayPartitionOp",
+    "InterfaceOp",
+    "DataflowDirectiveOp",
+    "partition_of",
+    "set_partition",
+    "bank_count",
+]
+
+
+class PartitionKind:
+    """Array partition fashions supported by HLS tools."""
+
+    NONE = "none"
+    CYCLIC = "cyclic"
+    BLOCK = "block"
+    COMPLETE = "complete"
+
+    ALL = (NONE, CYCLIC, BLOCK, COMPLETE)
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayPartition:
+    """Per-dimension partition fashion and factor of a buffer.
+
+    ``kinds[i]`` and ``factors[i]`` describe dimension ``i``; the number of
+    memory banks instantiated is the product of the factors (a ``complete``
+    partition of a dimension uses the dimension size as its factor).
+    """
+
+    kinds: Tuple[str, ...]
+    factors: Tuple[int, ...]
+
+    def __init__(self, kinds: Sequence[str], factors: Sequence[int]) -> None:
+        kinds = tuple(kinds)
+        factors = tuple(int(f) for f in factors)
+        if len(kinds) != len(factors):
+            raise ValueError("partition kinds and factors must have equal length")
+        for kind in kinds:
+            if kind not in PartitionKind.ALL:
+                raise ValueError(f"unknown partition kind {kind!r}")
+        for factor in factors:
+            if factor < 1:
+                raise ValueError(f"partition factors must be >= 1, got {factor}")
+        object.__setattr__(self, "kinds", kinds)
+        object.__setattr__(self, "factors", factors)
+
+    @classmethod
+    def none(cls, rank: int) -> "ArrayPartition":
+        return cls([PartitionKind.NONE] * rank, [1] * rank)
+
+    @property
+    def rank(self) -> int:
+        return len(self.factors)
+
+    @property
+    def banks(self) -> int:
+        total = 1
+        for factor in self.factors:
+            total *= max(factor, 1)
+        return total
+
+    def with_dim(self, dim: int, kind: str, factor: int) -> "ArrayPartition":
+        kinds = list(self.kinds)
+        factors = list(self.factors)
+        kinds[dim] = kind
+        factors[dim] = factor
+        return ArrayPartition(kinds, factors)
+
+    def __str__(self) -> str:
+        inner = ", ".join(
+            f"{k}:{f}" for k, f in zip(self.kinds, self.factors)
+        )
+        return f"partition<[{inner}]>"
+
+
+@register_operation
+class ArrayPartitionOp(Operation):
+    """Explicitly request an array partition on a memref value."""
+
+    OPERATION_NAME = "hls.array_partition"
+
+    @classmethod
+    def create(cls, memref: Value, partition: ArrayPartition) -> "ArrayPartitionOp":
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[memref],
+            attributes={"partition": partition},
+        )
+
+    @property
+    def partition(self) -> ArrayPartition:
+        return self.get_attr("partition")
+
+
+@register_operation
+class InterfaceOp(Operation):
+    """Declare the HLS interface of a function argument (AXI, BRAM, stream)."""
+
+    OPERATION_NAME = "hls.interface"
+
+    @classmethod
+    def create(
+        cls,
+        value: Value,
+        mode: str = "m_axi",
+        bundle: str = "gmem",
+        latency: int = 64,
+    ) -> "InterfaceOp":
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[value],
+            attributes={"mode": mode, "bundle": bundle, "latency": latency},
+        )
+
+    @property
+    def mode(self) -> str:
+        return self.get_attr("mode")
+
+    @property
+    def latency(self) -> int:
+        return self.get_attr("latency", 64)
+
+
+@register_operation
+class DataflowDirectiveOp(Operation):
+    """Marks a region of a function as executing under the HLS dataflow pragma."""
+
+    OPERATION_NAME = "hls.dataflow"
+
+    @classmethod
+    def create(cls) -> "DataflowDirectiveOp":
+        op = cls(name=cls.OPERATION_NAME, num_regions=1)
+        op.regions[0].add_entry_block()
+        return op
+
+
+# ---------------------------------------------------------------------------
+# Partition annotations carried on memref values.
+#
+# A value has no attribute dictionary, so partitions are attached to the
+# operation producing it (alloc, buffer, function argument's owner), keyed by
+# result index; helpers below hide this detail.
+# ---------------------------------------------------------------------------
+
+_PARTITION_ATTR = "partitions"
+
+
+def set_partition(value: Value, partition: ArrayPartition) -> None:
+    """Attach a partition annotation to the producer of ``value``."""
+    owner = value.defining_op
+    if owner is None:
+        # Block argument: store on the parent op of the owning block.
+        block = value.owner
+        owner = block.parent_op
+        if owner is None:
+            raise ValueError("cannot attach a partition to a detached value")
+        key = f"arg{value.index}"
+    else:
+        key = f"result{value.index}"
+    table = dict(owner.get_attr(_PARTITION_ATTR, {}))
+    table[key] = partition
+    owner.set_attr(_PARTITION_ATTR, table)
+
+
+def partition_of(value: Value) -> Optional[ArrayPartition]:
+    """Partition annotation of ``value``, or None if unpartitioned."""
+    owner = value.defining_op
+    if owner is None:
+        block = value.owner
+        owner = block.parent_op
+        if owner is None:
+            return None
+        key = f"arg{value.index}"
+    else:
+        key = f"result{value.index}"
+    table = owner.get_attr(_PARTITION_ATTR, {})
+    return table.get(key)
+
+
+def bank_count(value: Value) -> int:
+    """Number of memory banks required by ``value``'s partition (1 if none)."""
+    partition = partition_of(value)
+    return partition.banks if partition else 1

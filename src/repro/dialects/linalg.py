@@ -1,0 +1,535 @@
+"""linalg dialect: named tensor-level compute operations.
+
+These ops are what the PyTorch-like frontend emits (the role Torch-MLIR +
+linalg play in the paper).  Each op knows its output shape and its
+multiply-accumulate count, which feed the Functional-dataflow optimizations
+and the QoR estimation.  The linalg-to-affine lowering pass expands them
+into affine loop nests for the Structural dataflow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.core import Operation, Value, register_operation
+from ..ir.types import TensorType, Type, f32
+
+__all__ = [
+    "LinalgOp",
+    "Conv2DOp",
+    "DepthwiseConv2DOp",
+    "MaxPool2DOp",
+    "AvgPool2DOp",
+    "MatmulOp",
+    "LinearOp",
+    "AddOp",
+    "MulOp",
+    "ReluOp",
+    "BatchNormOp",
+    "SoftmaxOp",
+    "ReshapeOp",
+    "ConcatOp",
+    "UpsampleOp",
+    "FillOp",
+    "GenericOp",
+    "ELEMENTWISE_OP_NAMES",
+]
+
+
+class LinalgOp(Operation):
+    """Base class of named linalg ops.
+
+    Subclasses implement :meth:`macs` (multiply-accumulate operations per
+    invocation) and may refine :meth:`num_scalar_ops` (total scalar ops, used
+    by the intensity analysis when the op has no MACs).
+    """
+
+    OPERATION_NAME = "linalg.op"
+
+    def macs(self) -> int:
+        """Multiply-accumulate count of one execution of this op."""
+        return 0
+
+    def num_scalar_ops(self) -> int:
+        """Total scalar operations (defaults to output element count)."""
+        macs = self.macs()
+        if macs:
+            return macs
+        if self.results and isinstance(self.result().type, TensorType):
+            return self.result().type.num_elements
+        return 1
+
+    @property
+    def output_type(self) -> TensorType:
+        return self.result().type
+
+    @property
+    def is_elementwise(self) -> bool:
+        return self.name in ELEMENTWISE_OP_NAMES
+
+
+def _conv_output_hw(
+    in_h: int, in_w: int, kernel: int, stride: int, padding: int
+) -> Tuple[int, int]:
+    out_h = (in_h + 2 * padding - kernel) // stride + 1
+    out_w = (in_w + 2 * padding - kernel) // stride + 1
+    return out_h, out_w
+
+
+@register_operation
+class Conv2DOp(LinalgOp):
+    """2-D convolution over NCHW tensors with OIHW weights."""
+
+    OPERATION_NAME = "linalg.conv2d"
+
+    @classmethod
+    def create(
+        cls,
+        input: Value,
+        weight: Value,
+        bias: Optional[Value] = None,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> "Conv2DOp":
+        in_type: TensorType = input.type
+        w_type: TensorType = weight.type
+        batch, in_c, in_h, in_w = in_type.shape
+        out_c, w_in_c, k_h, k_w = w_type.shape
+        if w_in_c != in_c:
+            raise ValueError(
+                f"conv2d channel mismatch: input has {in_c}, weight expects {w_in_c}"
+            )
+        out_h, out_w = _conv_output_hw(in_h, in_w, k_h, stride, padding)
+        out_type = TensorType((batch, out_c, out_h, out_w), in_type.element_type)
+        operands = [input, weight] + ([bias] if bias is not None else [])
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=operands,
+            result_types=[out_type],
+            attributes={
+                "stride": stride,
+                "padding": padding,
+                "kernel": (k_h, k_w),
+                "has_bias": bias is not None,
+            },
+        )
+
+    @property
+    def input(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def weight(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def stride(self) -> int:
+        return self.get_attr("stride", 1)
+
+    @property
+    def padding(self) -> int:
+        return self.get_attr("padding", 0)
+
+    def macs(self) -> int:
+        out = self.output_type.shape  # (N, OC, OH, OW)
+        w = self.weight.type.shape  # (OC, IC, KH, KW)
+        return out[0] * out[1] * out[2] * out[3] * w[1] * w[2] * w[3]
+
+
+@register_operation
+class DepthwiseConv2DOp(LinalgOp):
+    """Depthwise 2-D convolution (channel multiplier 1), as in MobileNet."""
+
+    OPERATION_NAME = "linalg.depthwise_conv2d"
+
+    @classmethod
+    def create(
+        cls,
+        input: Value,
+        weight: Value,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> "DepthwiseConv2DOp":
+        in_type: TensorType = input.type
+        w_type: TensorType = weight.type
+        batch, in_c, in_h, in_w = in_type.shape
+        w_c, _one, k_h, k_w = w_type.shape
+        if w_c != in_c:
+            raise ValueError("depthwise conv channel mismatch")
+        out_h, out_w = _conv_output_hw(in_h, in_w, k_h, stride, padding)
+        out_type = TensorType((batch, in_c, out_h, out_w), in_type.element_type)
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[input, weight],
+            result_types=[out_type],
+            attributes={"stride": stride, "padding": padding, "kernel": (k_h, k_w)},
+        )
+
+    @property
+    def input(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def weight(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def stride(self) -> int:
+        return self.get_attr("stride", 1)
+
+    @property
+    def padding(self) -> int:
+        return self.get_attr("padding", 0)
+
+    def macs(self) -> int:
+        out = self.output_type.shape
+        k_h, k_w = self.get_attr("kernel")
+        return out[0] * out[1] * out[2] * out[3] * k_h * k_w
+
+
+class _Pool2DOp(LinalgOp):
+    """Shared implementation of max/average pooling."""
+
+    @classmethod
+    def create(
+        cls,
+        input: Value,
+        kernel: int = 2,
+        stride: Optional[int] = None,
+        padding: int = 0,
+    ):
+        stride = stride or kernel
+        in_type: TensorType = input.type
+        batch, channels, in_h, in_w = in_type.shape
+        out_h, out_w = _conv_output_hw(in_h, in_w, kernel, stride, padding)
+        out_type = TensorType((batch, channels, out_h, out_w), in_type.element_type)
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[input],
+            result_types=[out_type],
+            attributes={"kernel": kernel, "stride": stride, "padding": padding},
+        )
+
+    @property
+    def input(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def kernel(self) -> int:
+        return self.get_attr("kernel")
+
+    @property
+    def stride(self) -> int:
+        return self.get_attr("stride")
+
+    def num_scalar_ops(self) -> int:
+        out = self.output_type.shape
+        return out[0] * out[1] * out[2] * out[3] * self.kernel * self.kernel
+
+
+@register_operation
+class MaxPool2DOp(_Pool2DOp):
+    OPERATION_NAME = "linalg.maxpool2d"
+
+
+@register_operation
+class AvgPool2DOp(_Pool2DOp):
+    OPERATION_NAME = "linalg.avgpool2d"
+
+
+@register_operation
+class MatmulOp(LinalgOp):
+    """Matrix multiplication ``(M, K) x (K, N) -> (M, N)``."""
+
+    OPERATION_NAME = "linalg.matmul"
+
+    @classmethod
+    def create(cls, lhs: Value, rhs: Value) -> "MatmulOp":
+        l_type: TensorType = lhs.type
+        r_type: TensorType = rhs.type
+        m, k = l_type.shape
+        k2, n = r_type.shape
+        if k != k2:
+            raise ValueError(f"matmul inner dimension mismatch: {k} vs {k2}")
+        out_type = TensorType((m, n), l_type.element_type)
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[lhs, rhs],
+            result_types=[out_type],
+        )
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+    def macs(self) -> int:
+        m, n = self.output_type.shape
+        k = self.lhs.type.shape[1]
+        return m * n * k
+
+
+@register_operation
+class LinearOp(LinalgOp):
+    """Fully-connected layer ``(N, IF) x (OF, IF)^T + bias -> (N, OF)``."""
+
+    OPERATION_NAME = "linalg.linear"
+
+    @classmethod
+    def create(cls, input: Value, weight: Value, bias: Optional[Value] = None) -> "LinearOp":
+        in_type: TensorType = input.type
+        w_type: TensorType = weight.type
+        batch, in_features = in_type.shape
+        out_features, w_in = w_type.shape
+        if w_in != in_features:
+            raise ValueError(
+                f"linear feature mismatch: input {in_features}, weight {w_in}"
+            )
+        out_type = TensorType((batch, out_features), in_type.element_type)
+        operands = [input, weight] + ([bias] if bias is not None else [])
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=operands,
+            result_types=[out_type],
+            attributes={"has_bias": bias is not None},
+        )
+
+    @property
+    def input(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def weight(self) -> Value:
+        return self.operand(1)
+
+    def macs(self) -> int:
+        batch, out_features = self.output_type.shape
+        in_features = self.input.type.shape[1]
+        return batch * out_features * in_features
+
+
+class _BinaryElementwiseOp(LinalgOp):
+    @classmethod
+    def create(cls, lhs: Value, rhs: Value):
+        if lhs.type.shape != rhs.type.shape:
+            raise ValueError(
+                f"elementwise shape mismatch: {lhs.type.shape} vs {rhs.type.shape}"
+            )
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[lhs, rhs],
+            result_types=[lhs.type],
+        )
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+
+@register_operation
+class AddOp(_BinaryElementwiseOp):
+    """Elementwise addition (e.g. ResNet shortcut merge)."""
+
+    OPERATION_NAME = "linalg.add"
+
+
+@register_operation
+class MulOp(_BinaryElementwiseOp):
+    """Elementwise multiplication."""
+
+    OPERATION_NAME = "linalg.mul"
+
+
+class _UnaryElementwiseOp(LinalgOp):
+    @classmethod
+    def create(cls, input: Value):
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[input],
+            result_types=[input.type],
+        )
+
+    @property
+    def input(self) -> Value:
+        return self.operand(0)
+
+
+@register_operation
+class ReluOp(_UnaryElementwiseOp):
+    OPERATION_NAME = "linalg.relu"
+
+
+@register_operation
+class SoftmaxOp(_UnaryElementwiseOp):
+    OPERATION_NAME = "linalg.softmax"
+
+
+@register_operation
+class BatchNormOp(LinalgOp):
+    """Batch normalization folded into a per-channel scale and shift."""
+
+    OPERATION_NAME = "linalg.batch_norm"
+
+    @classmethod
+    def create(cls, input: Value, scale: Value, shift: Value) -> "BatchNormOp":
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[input, scale, shift],
+            result_types=[input.type],
+        )
+
+    @property
+    def input(self) -> Value:
+        return self.operand(0)
+
+    def macs(self) -> int:
+        return self.output_type.num_elements
+
+
+@register_operation
+class ReshapeOp(LinalgOp):
+    """Reshape / flatten without moving data."""
+
+    OPERATION_NAME = "linalg.reshape"
+
+    @classmethod
+    def create(cls, input: Value, shape: Sequence[int]) -> "ReshapeOp":
+        in_type: TensorType = input.type
+        out_type = TensorType(shape, in_type.element_type)
+        if out_type.num_elements != in_type.num_elements:
+            raise ValueError(
+                f"reshape element count mismatch: {in_type.num_elements} "
+                f"vs {out_type.num_elements}"
+            )
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[input],
+            result_types=[out_type],
+            attributes={"shape": tuple(shape)},
+        )
+
+    @property
+    def input(self) -> Value:
+        return self.operand(0)
+
+    def num_scalar_ops(self) -> int:
+        return 0
+
+
+@register_operation
+class ConcatOp(LinalgOp):
+    """Concatenate tensors along an axis (YOLO-style feature merges)."""
+
+    OPERATION_NAME = "linalg.concat"
+
+    @classmethod
+    def create(cls, inputs: Sequence[Value], axis: int = 1) -> "ConcatOp":
+        first: TensorType = inputs[0].type
+        shape = list(first.shape)
+        shape[axis] = sum(v.type.shape[axis] for v in inputs)
+        out_type = TensorType(shape, first.element_type)
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=list(inputs),
+            result_types=[out_type],
+            attributes={"axis": axis},
+        )
+
+    def num_scalar_ops(self) -> int:
+        return 0
+
+
+@register_operation
+class UpsampleOp(LinalgOp):
+    """Nearest-neighbour spatial upsampling by an integer factor."""
+
+    OPERATION_NAME = "linalg.upsample"
+
+    @classmethod
+    def create(cls, input: Value, factor: int = 2) -> "UpsampleOp":
+        in_type: TensorType = input.type
+        batch, channels, h, w = in_type.shape
+        out_type = TensorType((batch, channels, h * factor, w * factor), in_type.element_type)
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[input],
+            result_types=[out_type],
+            attributes={"factor": factor},
+        )
+
+    @property
+    def input(self) -> Value:
+        return self.operand(0)
+
+
+@register_operation
+class FillOp(LinalgOp):
+    """Produce a tensor filled with a constant (weights / zero initialisers)."""
+
+    OPERATION_NAME = "linalg.fill"
+
+    @classmethod
+    def create(cls, shape: Sequence[int], value: float = 0.0, element_type: Type = f32) -> "FillOp":
+        return cls(
+            name=cls.OPERATION_NAME,
+            result_types=[TensorType(shape, element_type)],
+            attributes={"value": value},
+        )
+
+    def num_scalar_ops(self) -> int:
+        return 0
+
+
+@register_operation
+class GenericOp(LinalgOp):
+    """A structured op described only by iteration-space sizes and a MAC count.
+
+    Used for operators without a dedicated named op; carries enough
+    information for the intensity analysis and the lowering to loops.
+    """
+
+    OPERATION_NAME = "linalg.generic"
+
+    @classmethod
+    def create(
+        cls,
+        inputs: Sequence[Value],
+        output_type: TensorType,
+        iteration_space: Sequence[int],
+        macs_per_iteration: int = 1,
+        label: str = "generic",
+    ) -> "GenericOp":
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=list(inputs),
+            result_types=[output_type],
+            attributes={
+                "iteration_space": tuple(iteration_space),
+                "macs_per_iteration": macs_per_iteration,
+                "label": label,
+            },
+        )
+
+    def macs(self) -> int:
+        space = self.get_attr("iteration_space", ())
+        total = 1
+        for size in space:
+            total *= size
+        return total * self.get_attr("macs_per_iteration", 1)
+
+
+ELEMENTWISE_OP_NAMES = {
+    "linalg.add",
+    "linalg.mul",
+    "linalg.relu",
+    "linalg.batch_norm",
+    "linalg.softmax",
+}

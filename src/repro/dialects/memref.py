@@ -1,0 +1,166 @@
+"""memref dialect: allocation, load/store and copy on mutable buffers."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir.core import Operation, Value, register_operation
+from ..ir.types import MemRefType, Type
+
+__all__ = [
+    "AllocOp",
+    "DeallocOp",
+    "LoadOp",
+    "StoreOp",
+    "CopyOp",
+    "SubViewOp",
+    "GetGlobalOp",
+]
+
+
+@register_operation
+class AllocOp(Operation):
+    """Allocate an on-chip (or external, per memory space) buffer."""
+
+    OPERATION_NAME = "memref.alloc"
+
+    @classmethod
+    def create(cls, memref_type: MemRefType, name_hint: Optional[str] = None) -> "AllocOp":
+        op = cls(name=cls.OPERATION_NAME, result_types=[memref_type])
+        if name_hint:
+            op.result().name_hint = name_hint
+        return op
+
+    @property
+    def memref_type(self) -> MemRefType:
+        return self.result().type
+
+
+@register_operation
+class DeallocOp(Operation):
+    OPERATION_NAME = "memref.dealloc"
+
+    @classmethod
+    def create(cls, memref: Value) -> "DeallocOp":
+        return cls(name=cls.OPERATION_NAME, operands=[memref])
+
+
+@register_operation
+class LoadOp(Operation):
+    """Load a scalar from a memref at explicit index operands."""
+
+    OPERATION_NAME = "memref.load"
+
+    @classmethod
+    def create(cls, memref: Value, indices: Sequence[Value] = ()) -> "LoadOp":
+        element_type = memref.type.element_type
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[memref, *indices],
+            result_types=[element_type],
+        )
+
+    @property
+    def memref(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def indices(self) -> Sequence[Value]:
+        return self.operands[1:]
+
+
+@register_operation
+class StoreOp(Operation):
+    """Store a scalar to a memref at explicit index operands."""
+
+    OPERATION_NAME = "memref.store"
+
+    @classmethod
+    def create(cls, value: Value, memref: Value, indices: Sequence[Value] = ()) -> "StoreOp":
+        return cls(name=cls.OPERATION_NAME, operands=[value, memref, *indices])
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def memref(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def indices(self) -> Sequence[Value]:
+        return self.operands[2:]
+
+
+@register_operation
+class CopyOp(Operation):
+    """Copy the full contents of ``source`` into ``target``.
+
+    Inserted by HIDA's multi-producer elimination and data-path balancing
+    (explicit memory copies between a buffer and its duplicate).
+    """
+
+    OPERATION_NAME = "memref.copy"
+
+    @classmethod
+    def create(cls, source: Value, target: Value) -> "CopyOp":
+        return cls(name=cls.OPERATION_NAME, operands=[source, target])
+
+    @property
+    def source(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def target(self) -> Value:
+        return self.operand(1)
+
+
+@register_operation
+class SubViewOp(Operation):
+    """A rectangular tile view into a larger memref (used by loop tiling)."""
+
+    OPERATION_NAME = "memref.subview"
+
+    @classmethod
+    def create(
+        cls,
+        source: Value,
+        offsets: Sequence[int],
+        sizes: Sequence[int],
+        strides: Sequence[int],
+    ) -> "SubViewOp":
+        source_type: MemRefType = source.type
+        result_type = MemRefType(sizes, source_type.element_type, source_type.memory_space)
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[source],
+            result_types=[result_type],
+            attributes={
+                "offsets": tuple(offsets),
+                "sizes": tuple(sizes),
+                "strides": tuple(strides),
+            },
+        )
+
+    @property
+    def source(self) -> Value:
+        return self.operand(0)
+
+
+@register_operation
+class GetGlobalOp(Operation):
+    """Reference a module-level constant buffer (e.g. DNN weights)."""
+
+    OPERATION_NAME = "memref.get_global"
+
+    @classmethod
+    def create(cls, symbol: str, memref_type: MemRefType) -> "GetGlobalOp":
+        return cls(
+            name=cls.OPERATION_NAME,
+            result_types=[memref_type],
+            attributes={"symbol": symbol},
+        )
+
+    @property
+    def symbol(self) -> str:
+        return self.get_attr("symbol")

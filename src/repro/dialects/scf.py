@@ -1,0 +1,135 @@
+"""scf dialect: structured control flow with arbitrary SSA bounds.
+
+Only the operations needed by the frontends and lowering paths are modelled:
+``scf.for``, ``scf.if`` and ``scf.yield``.  HIDA mostly operates on the
+affine dialect; scf is kept to represent programs whose bounds are not
+affine (and as a lowering target in tests exercising the dialect stack of
+Figure 2 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir.core import Block, Operation, Value, register_operation
+from ..ir.types import IndexType, Type
+
+__all__ = ["ForOp", "IfOp", "YieldOp", "WhileOp"]
+
+
+@register_operation
+class ForOp(Operation):
+    """``scf.for %i = %lb to %ub step %step`` with a single-block body."""
+
+    OPERATION_NAME = "scf.for"
+
+    @classmethod
+    def create(
+        cls,
+        lower_bound: Value,
+        upper_bound: Value,
+        step: Value,
+        iter_args: Sequence[Value] = (),
+    ) -> "ForOp":
+        op = cls(
+            name=cls.OPERATION_NAME,
+            operands=[lower_bound, upper_bound, step, *iter_args],
+            result_types=[v.type for v in iter_args],
+            num_regions=1,
+        )
+        arg_types: list[Type] = [IndexType(), *[v.type for v in iter_args]]
+        op.regions[0].add_entry_block(arg_types=arg_types)
+        op.body.arguments[0].name_hint = "iv"
+        return op
+
+    @property
+    def lower_bound(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def upper_bound(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def step(self) -> Value:
+        return self.operand(2)
+
+    @property
+    def induction_variable(self) -> Value:
+        return self.body.arguments[0]
+
+    @property
+    def iter_args(self) -> Sequence[Value]:
+        return self.body.arguments[1:]
+
+    def verify(self) -> None:
+        if self.num_operands < 3:
+            raise ValueError("scf.for expects lower bound, upper bound and step")
+
+
+@register_operation
+class IfOp(Operation):
+    """``scf.if %cond`` with a then-region and an optional else-region."""
+
+    OPERATION_NAME = "scf.if"
+
+    @classmethod
+    def create(
+        cls,
+        condition: Value,
+        result_types: Sequence[Type] = (),
+        with_else: bool = False,
+    ) -> "IfOp":
+        op = cls(
+            name=cls.OPERATION_NAME,
+            operands=[condition],
+            result_types=result_types,
+            num_regions=2 if with_else else 1,
+        )
+        for region in op.regions:
+            region.add_entry_block()
+        return op
+
+    @property
+    def condition(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].entry_block
+
+    @property
+    def else_block(self) -> Optional[Block]:
+        if len(self.regions) > 1:
+            return self.regions[1].entry_block
+        return None
+
+
+@register_operation
+class WhileOp(Operation):
+    """``scf.while`` with a condition region and a body region."""
+
+    OPERATION_NAME = "scf.while"
+
+    @classmethod
+    def create(cls, init_args: Sequence[Value] = ()) -> "WhileOp":
+        op = cls(
+            name=cls.OPERATION_NAME,
+            operands=init_args,
+            result_types=[v.type for v in init_args],
+            num_regions=2,
+        )
+        for region in op.regions:
+            region.add_entry_block(arg_types=[v.type for v in init_args])
+        return op
+
+
+@register_operation
+class YieldOp(Operation):
+    """Region terminator yielding values to the parent op."""
+
+    OPERATION_NAME = "scf.yield"
+
+    @classmethod
+    def create(cls, operands: Sequence[Value] = ()) -> "YieldOp":
+        return cls(name=cls.OPERATION_NAME, operands=operands)

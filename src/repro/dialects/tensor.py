@@ -1,0 +1,88 @@
+"""tensor dialect: a few operations on immutable tensor values."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir.core import Operation, Value, register_operation
+from ..ir.types import MemRefType, TensorType, Type, f32
+
+__all__ = ["EmptyOp", "FromMemrefOp", "ToMemrefOp", "ExtractSliceOp"]
+
+
+@register_operation
+class EmptyOp(Operation):
+    """Produce an uninitialized tensor of a given shape."""
+
+    OPERATION_NAME = "tensor.empty"
+
+    @classmethod
+    def create(cls, shape: Sequence[int], element_type: Type = f32) -> "EmptyOp":
+        return cls(
+            name=cls.OPERATION_NAME,
+            result_types=[TensorType(shape, element_type)],
+        )
+
+
+@register_operation
+class FromMemrefOp(Operation):
+    """View the contents of a memref as an immutable tensor."""
+
+    OPERATION_NAME = "tensor.from_memref"
+
+    @classmethod
+    def create(cls, memref: Value) -> "FromMemrefOp":
+        memref_type: MemRefType = memref.type
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[memref],
+            result_types=[TensorType(memref_type.shape, memref_type.element_type)],
+        )
+
+    @property
+    def memref(self) -> Value:
+        return self.operand(0)
+
+
+@register_operation
+class ToMemrefOp(Operation):
+    """Materialize a tensor into a (newly allocated) memref."""
+
+    OPERATION_NAME = "tensor.to_memref"
+
+    @classmethod
+    def create(cls, tensor: Value, memory_space: str = "bram") -> "ToMemrefOp":
+        tensor_type: TensorType = tensor.type
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[tensor],
+            result_types=[
+                MemRefType(tensor_type.shape, tensor_type.element_type, memory_space)
+            ],
+        )
+
+    @property
+    def tensor(self) -> Value:
+        return self.operand(0)
+
+
+@register_operation
+class ExtractSliceOp(Operation):
+    """Extract a rectangular slice (tile) of a tensor."""
+
+    OPERATION_NAME = "tensor.extract_slice"
+
+    @classmethod
+    def create(
+        cls,
+        source: Value,
+        offsets: Sequence[int],
+        sizes: Sequence[int],
+    ) -> "ExtractSliceOp":
+        source_type: TensorType = source.type
+        return cls(
+            name=cls.OPERATION_NAME,
+            operands=[source],
+            result_types=[TensorType(sizes, source_type.element_type)],
+            attributes={"offsets": tuple(offsets), "sizes": tuple(sizes)},
+        )

@@ -1,0 +1,52 @@
+"""repro.estimation — the Vitis-HLS-style QoR estimation substrate.
+
+Platform specifications, an analytical latency/resource model, a
+coarse-grained dataflow simulator and the evaluation metrics used in the
+paper (DSP efficiency, throughput, memory reduction).
+"""
+
+from .dataflow_sim import ChannelSpec, build_channels, simulate_dataflow, simulate_schedule
+from .metrics import (
+    dsp_efficiency,
+    geometric_mean,
+    memory_reduction,
+    speedup,
+    throughput_samples_per_second,
+)
+from .platform import PLATFORMS, PYNQ_Z2, VU9P_SLR, ZU3EG, Platform, get_platform
+from .qor import (
+    DesignEstimate,
+    NodeEstimate,
+    QoREstimator,
+    ResourceUsage,
+    dsp_cost_of_op,
+    estimate_band,
+    estimate_buffer,
+    estimate_node,
+)
+
+__all__ = [
+    "ChannelSpec",
+    "build_channels",
+    "simulate_dataflow",
+    "simulate_schedule",
+    "dsp_efficiency",
+    "geometric_mean",
+    "memory_reduction",
+    "speedup",
+    "throughput_samples_per_second",
+    "PLATFORMS",
+    "PYNQ_Z2",
+    "VU9P_SLR",
+    "ZU3EG",
+    "Platform",
+    "get_platform",
+    "DesignEstimate",
+    "NodeEstimate",
+    "QoREstimator",
+    "ResourceUsage",
+    "dsp_cost_of_op",
+    "estimate_band",
+    "estimate_buffer",
+    "estimate_node",
+]

@@ -1,0 +1,199 @@
+"""Coarse-grained dataflow simulator.
+
+Models the steady-state behaviour of a structural dataflow schedule: nodes
+fire once per data frame, communicate through buffers with a bounded number
+of ping-pong stages (or streams / tokens), and overlap their execution across
+frames.  The simulator computes the steady-state initiation interval of the
+whole pipeline and the single-frame latency, which the QoR estimator turns
+into throughput.
+
+This is where unbalanced data paths show up: a shortcut buffer with only two
+stages between a producer and a far-away consumer (e.g. the residual path of
+ResNet) back-pressures the producer and inflates the interval; HIDA's
+data-path balancing inserts extra stages (or spills to external memory with
+token flow) precisely to remove that back-pressure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dialects.dataflow import (
+    BufferOp,
+    NodeOp,
+    ScheduleOp,
+    StreamOp,
+    get_consumers,
+    get_producers,
+)
+from ..ir.core import Value
+
+__all__ = ["ChannelSpec", "simulate_dataflow", "simulate_schedule", "build_channels"]
+
+
+@dataclasses.dataclass
+class ChannelSpec:
+    """A producer -> consumer dependency through a buffer or stream.
+
+    ``capacity`` is the number of in-flight frames the channel can hold
+    (ping-pong depth for buffers, entry count for token streams).
+    """
+
+    producer: int
+    consumer: int
+    capacity: int = 2
+
+    def __post_init__(self) -> None:
+        self.capacity = max(1, int(self.capacity))
+
+
+def build_channels(schedule: ScheduleOp) -> Tuple[List[NodeOp], List[ChannelSpec]]:
+    """Derive the frame-level channel graph of a schedule.
+
+    Every buffer (or stream) written by node P and read by node C contributes
+    a channel P -> C whose capacity is the buffer's ping-pong depth.  Nodes
+    communicating through external memory are connected by their token
+    streams; if no token stream exists the dependence is still honoured with
+    the default capacity.
+    """
+    nodes = schedule.nodes
+    index_of = {id(node): i for i, node in enumerate(nodes)}
+    channels: List[ChannelSpec] = []
+
+    def add_channel(producer: NodeOp, consumer: NodeOp, capacity: int) -> None:
+        if id(producer) not in index_of or id(consumer) not in index_of:
+            return
+        p, c = index_of[id(producer)], index_of[id(consumer)]
+        if p == c:
+            return
+        channels.append(ChannelSpec(p, c, capacity))
+
+    # Buffers and streams allocated inside the schedule.
+    for op in schedule.body.operations:
+        if isinstance(op, BufferOp):
+            value = op.result()
+            capacity = max(op.depth, 1)
+            for producer in get_producers(value):
+                for consumer in get_consumers(value):
+                    if producer is not consumer:
+                        add_channel(producer, consumer, capacity)
+        elif isinstance(op, StreamOp):
+            value = op.result()
+            users = [u for u in value.users if isinstance(u, NodeOp)]
+            writers = [u for u in users if u.writes(value)]
+            readers = [u for u in users if u.reads(value)]
+            for producer in writers:
+                for consumer in readers:
+                    if producer is not consumer:
+                        add_channel(producer, consumer, op.depth)
+
+    # Values passed in from outside (schedule block arguments): a write by one
+    # node followed by a read by another still orders the two nodes.
+    for argument in schedule.body.arguments:
+        writers = [n for n in nodes if n.writes(argument)]
+        readers = [n for n in nodes if n.reads(argument)]
+        for producer in writers:
+            for consumer in readers:
+                if producer is not consumer and nodes.index(producer) < nodes.index(consumer):
+                    add_channel(producer, consumer, 2)
+    return nodes, channels
+
+
+def simulate_dataflow(
+    latencies: Sequence[float],
+    channels: Sequence[ChannelSpec],
+    frames: int = 16,
+) -> Tuple[float, float]:
+    """Simulate ``frames`` frames through a dataflow pipeline.
+
+    ``latencies[i]`` is the per-frame latency of node ``i``.  Returns
+    ``(steady interval, single-frame latency)``.
+
+    The firing rule per node and frame is:
+
+    * a node starts frame *f* only after all its predecessors finished
+      frame *f* (data availability),
+    * after it finished its own frame *f - 1* (a node is not internally
+      pipelined across frames),
+    * and after every channel it writes has a free slot, i.e. its consumer
+      has finished frame *f - capacity + 1* (back-pressure).
+    """
+    num_nodes = len(latencies)
+    if num_nodes == 0:
+        return 1.0, 1.0
+    frames = max(int(frames), 4)
+    preds: Dict[int, List[ChannelSpec]] = {i: [] for i in range(num_nodes)}
+    succs: Dict[int, List[ChannelSpec]] = {i: [] for i in range(num_nodes)}
+    for channel in channels:
+        preds[channel.consumer].append(channel)
+        succs[channel.producer].append(channel)
+
+    order = _topological_order(num_nodes, channels)
+    finish = [[0.0] * num_nodes for _ in range(frames)]
+    start = [[0.0] * num_nodes for _ in range(frames)]
+    for frame in range(frames):
+        for node in order:
+            earliest = 0.0
+            if frame > 0:
+                earliest = max(earliest, finish[frame - 1][node])
+            for channel in preds[node]:
+                earliest = max(earliest, finish[frame][channel.producer])
+            for channel in succs[node]:
+                # A channel with capacity C holds frames f-1 .. f-C while the
+                # producer works on frame f; the slot for frame f is free once
+                # the consumer has finished frame f - C.
+                waiting_frame = frame - channel.capacity
+                if waiting_frame >= 0:
+                    earliest = max(earliest, finish[waiting_frame][channel.consumer])
+            start[frame][node] = earliest
+            finish[frame][node] = earliest + max(latencies[node], 1.0)
+
+    last_finish = [max(finish[f]) for f in range(frames)]
+    single_frame_latency = last_finish[0]
+    half = frames // 2
+    steady_interval = (last_finish[-1] - last_finish[half]) / max(frames - 1 - half, 1)
+    steady_interval = max(steady_interval, max(latencies) if latencies else 1.0)
+    return steady_interval, single_frame_latency
+
+
+def _topological_order(num_nodes: int, channels: Sequence[ChannelSpec]) -> List[int]:
+    """Topological order over data edges (falls back to index order on cycles)."""
+    indegree = [0] * num_nodes
+    adjacency: Dict[int, List[int]] = {i: [] for i in range(num_nodes)}
+    seen = set()
+    for channel in channels:
+        key = (channel.producer, channel.consumer)
+        if key in seen:
+            continue
+        seen.add(key)
+        adjacency[channel.producer].append(channel.consumer)
+        indegree[channel.consumer] += 1
+    ready = sorted(i for i in range(num_nodes) if indegree[i] == 0)
+    order: List[int] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for succ in adjacency[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+        ready.sort()
+    if len(order) != num_nodes:
+        # Cycle (e.g. in-place updates): fall back to program order.
+        remaining = [i for i in range(num_nodes) if i not in order]
+        order.extend(remaining)
+    return order
+
+
+def simulate_schedule(
+    schedule: ScheduleOp,
+    node_estimates: Sequence,
+    frames: int = 16,
+) -> Tuple[float, float]:
+    """Simulate a schedule given per-node estimates (from the QoR model)."""
+    nodes, channels = build_channels(schedule)
+    latencies = [estimate.latency for estimate in node_estimates]
+    if len(latencies) != len(nodes):
+        latencies = latencies[: len(nodes)] + [1.0] * (len(nodes) - len(latencies))
+    return simulate_dataflow(latencies, channels, frames=frames)

@@ -1,0 +1,5 @@
+"""repro.frontend — design-entry frontends (PyTorch-like NN and C++ kernels)."""
+
+from . import cpp, nn
+
+__all__ = ["cpp", "nn"]

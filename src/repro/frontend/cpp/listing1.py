@@ -1,0 +1,40 @@
+"""Listing 1 of the HIDA paper: the three-node running example.
+
+The kernel loads an ``A[32][16]`` array and a ``B[16][16]`` array from
+external inputs and computes ``C[i][j] = A[i*2][k] * B[k][j]`` over a
+``16 x 16 x 16`` iteration space.  Node2 reads ``A`` with a stride of 2 on
+its first dimension, producing the non-trivial permutation and scaling maps
+of Table 4 and driving the parallelization example of Tables 5 and 6.
+"""
+
+from __future__ import annotations
+
+from ...ir.builtin import ModuleOp
+from .kernel_builder import KernelBuilder
+
+__all__ = ["build_listing1"]
+
+
+def build_listing1() -> ModuleOp:
+    """Build the Listing-1 kernel as an affine loop-nest module."""
+    kb = KernelBuilder("listing1")
+    a_in = kb.add_input("A_in", (32, 16))
+    b_in = kb.add_input("B_in", (16, 16))
+    c_out = kb.add_output("C_out", (16, 16))
+
+    kb.add_local("A", (32, 16))
+    kb.add_local("B", (16, 16))
+
+    # NODE0: load array A.
+    with kb.loop_nest(("i", "k"), (32, 16)) as (i, k):
+        kb.store("A", [i, k], kb.load(a_in, [i, k]))
+
+    # NODE1: load array B.
+    with kb.loop_nest(("k", "j"), (16, 16)) as (k, j):
+        kb.store("B", [k, j], kb.load(b_in, [k, j]))
+
+    # NODE2: C[i][j] = A[i*2][k] * B[k][j].
+    with kb.loop_nest(("i", "j", "k"), (16, 16, 16)) as (i, j, k):
+        kb.store(c_out, [i, j], kb.load("A", [i * 2, k]) * kb.load("B", [k, j]))
+
+    return kb.finish()

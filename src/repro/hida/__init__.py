@@ -1,0 +1,110 @@
+"""repro.hida — the HIDA-OPT hierarchical dataflow optimizer.
+
+The paper's primary contribution: Functional dataflow construction and task
+fusion, Structural lowering, multi-producer elimination, data-path
+balancing, intensity/connection analysis, IA+CA parallelization, and the
+end-to-end pipeline driver.
+"""
+
+from .analysis import (
+    BandAccess,
+    BandInfo,
+    Connection,
+    band_info_of,
+    collect_band_infos,
+    collect_connections,
+    connection_table,
+    is_parallel_loop,
+    node_intensity,
+)
+from .dataflow_opt import (
+    BalanceDataflowPass,
+    BalanceReport,
+    EliminateMultiProducerPass,
+    balance_data_paths,
+    eliminate_multiple_producers,
+    node_depths,
+)
+from .functional import (
+    ConstructDataflowPass,
+    ElementwiseFusionPattern,
+    FuseTasksPass,
+    FusionPattern,
+    InitializationFusionPattern,
+    construct_functional_dataflow,
+    default_fusion_patterns,
+    fuse_dataflow_tasks,
+    fuse_tasks,
+    task_intensity,
+    wrap_block_in_dispatch,
+    wrap_ops_in_task,
+)
+from .parallelize import (
+    ParallelizationOptions,
+    ParallelizationResult,
+    candidate_unroll_factors,
+    count_misalignments,
+    generate_parallel_factors,
+    parallelize_band,
+    parallelize_schedule,
+    proposal_cost,
+    sort_bands,
+)
+from .pipeline import CompileResult, HidaCompiler, HidaOptions, compile_module
+from .structural import (
+    LowerToStructuralPass,
+    analyze_memory_effects,
+    convert_allocs_to_buffers,
+    convert_dispatch_to_schedule,
+    convert_task_to_node,
+    lower_to_structural_dataflow,
+)
+
+__all__ = [
+    "BandAccess",
+    "BandInfo",
+    "Connection",
+    "band_info_of",
+    "collect_band_infos",
+    "collect_connections",
+    "connection_table",
+    "is_parallel_loop",
+    "node_intensity",
+    "BalanceDataflowPass",
+    "BalanceReport",
+    "EliminateMultiProducerPass",
+    "balance_data_paths",
+    "eliminate_multiple_producers",
+    "node_depths",
+    "ConstructDataflowPass",
+    "ElementwiseFusionPattern",
+    "FuseTasksPass",
+    "FusionPattern",
+    "InitializationFusionPattern",
+    "construct_functional_dataflow",
+    "default_fusion_patterns",
+    "fuse_dataflow_tasks",
+    "fuse_tasks",
+    "task_intensity",
+    "wrap_block_in_dispatch",
+    "wrap_ops_in_task",
+    "ParallelizationOptions",
+    "ParallelizationResult",
+    "candidate_unroll_factors",
+    "count_misalignments",
+    "generate_parallel_factors",
+    "parallelize_band",
+    "parallelize_schedule",
+    "proposal_cost",
+    "sort_bands",
+    "CompileResult",
+    "HidaCompiler",
+    "HidaOptions",
+    "compile_module",
+    "LowerToStructuralPass",
+    "analyze_memory_effects",
+    "convert_allocs_to_buffers",
+    "convert_dispatch_to_schedule",
+    "convert_task_to_node",
+    "lower_to_structural_dataflow",
+]

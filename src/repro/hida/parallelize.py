@@ -1,0 +1,419 @@
+"""Intensity- and connection-aware dataflow parallelization (Section 6.5).
+
+Implements steps (2)-(4) of the HIDA parallelization flow:
+
+* **Node sorting** — nodes (more precisely, their loop bands) are processed
+  in descending order of connection count, with computation intensity as the
+  tie-breaker;
+* **Parallel factor generation** — the per-band parallel factor budget is
+  proportional to the band's intensity (intensity-aware, IA); without IA the
+  maximum factor is applied to every band;
+* **Node parallelization** (Algorithm 4) — an intra-band DSE proposes loop
+  unroll-factor vectors, rejects proposals that violate the alignment
+  constraints derived from already-parallelized connected bands
+  (connection-aware, CA) or exceed the parallel factor, ranks valid
+  proposals with the QoR model (latency, DSPs, memory banks) and applies the
+  winner.
+
+After parallelization the innermost loops are pipelined and buffer
+partitions are derived from the final unroll factors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dialects.affine import AffineForOp
+from ..dialects.dataflow import BufferOp, NodeOp, ScheduleOp
+from ..ir.core import Value
+from ..ir.types import MemRefType
+from ..transforms.array_partition import partition_buffers_in
+from ..transforms.loop_transforms import pipeline_loop
+from .analysis import (
+    BandInfo,
+    Connection,
+    collect_band_infos,
+    collect_connections,
+)
+
+__all__ = [
+    "ParallelizationOptions",
+    "ParallelizationResult",
+    "generate_parallel_factors",
+    "sort_bands",
+    "candidate_unroll_factors",
+    "proposal_cost",
+    "parallelize_band",
+    "parallelize_schedule",
+    "count_misalignments",
+]
+
+
+@dataclasses.dataclass
+class ParallelizationOptions:
+    """Knobs of the dataflow parallelization.
+
+    ``intensity_aware`` and ``connection_aware`` correspond to the IA / CA
+    ablation modes of Figure 11; the naive mode disables both.
+    """
+
+    max_parallel_factor: int = 32
+    intensity_aware: bool = True
+    connection_aware: bool = True
+    #: Restrict DSE proposals to power-of-two factors (plus exact divisors of
+    #: small trip counts), keeping the proposal space tractable.
+    powers_of_two_only: bool = False
+    #: Upper bound on DSE proposals evaluated per band.
+    max_proposals: int = 8192
+    #: Pipeline innermost loops after unrolling.
+    pipeline: bool = True
+
+    @classmethod
+    def naive(cls, max_parallel_factor: int = 32) -> "ParallelizationOptions":
+        return cls(
+            max_parallel_factor=max_parallel_factor,
+            intensity_aware=False,
+            connection_aware=False,
+        )
+
+    @classmethod
+    def ia_only(cls, max_parallel_factor: int = 32) -> "ParallelizationOptions":
+        return cls(
+            max_parallel_factor=max_parallel_factor,
+            intensity_aware=True,
+            connection_aware=False,
+        )
+
+    @classmethod
+    def ca_only(cls, max_parallel_factor: int = 32) -> "ParallelizationOptions":
+        return cls(
+            max_parallel_factor=max_parallel_factor,
+            intensity_aware=False,
+            connection_aware=True,
+        )
+
+
+@dataclasses.dataclass
+class ParallelizationResult:
+    """Chosen unroll factors and bookkeeping for one schedule."""
+
+    unroll_factors: Dict[str, List[int]] = dataclasses.field(default_factory=dict)
+    parallel_factors: Dict[str, int] = dataclasses.field(default_factory=dict)
+    intensities: Dict[str, int] = dataclasses.field(default_factory=dict)
+    constraint_violations: int = 0
+    proposals_evaluated: int = 0
+
+    def factors_of(self, label: str) -> Optional[List[int]]:
+        return self.unroll_factors.get(label)
+
+
+# ---------------------------------------------------------------------------
+# Step (2): node sorting
+# ---------------------------------------------------------------------------
+
+
+def sort_bands(
+    bands: Sequence[BandInfo], connections: Sequence[Connection]
+) -> List[BandInfo]:
+    """Sort bands by connection count (descending), intensity as tie-breaker."""
+    counts = {id(band): 0 for band in bands}
+    for connection in connections:
+        if id(connection.source) in counts:
+            counts[id(connection.source)] += 1
+        if id(connection.target) in counts:
+            counts[id(connection.target)] += 1
+    return sorted(
+        bands,
+        key=lambda band: (-counts[id(band)], -band.intensity),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Step (3): parallel factor generation
+# ---------------------------------------------------------------------------
+
+
+def generate_parallel_factors(
+    bands: Sequence[BandInfo], options: ParallelizationOptions
+) -> Dict[int, int]:
+    """Per-band parallel factor, proportional to intensity when IA is on."""
+    factors: Dict[int, int] = {}
+    max_intensity = max((band.intensity for band in bands), default=1) or 1
+    for band in bands:
+        if options.intensity_aware:
+            raw = options.max_parallel_factor * band.intensity / max_intensity
+            factor = max(1, 2 ** int(round(math.log2(max(raw, 1)))))
+        else:
+            factor = options.max_parallel_factor
+        space = 1
+        for trip in band.trip_counts:
+            space *= max(trip, 1)
+        factors[id(band)] = max(1, min(factor, space))
+    return factors
+
+
+# ---------------------------------------------------------------------------
+# Step (4): node parallelization (Algorithm 4)
+# ---------------------------------------------------------------------------
+
+
+def _factor_candidates_for_loop(
+    trip: int, parallel: bool, limit: int, powers_of_two_only: bool
+) -> List[int]:
+    """Candidate unroll factors of one loop."""
+    if not parallel:
+        return [1]
+    limit = max(1, min(limit, trip))
+    candidates = {1}
+    power = 2
+    while power <= limit:
+        candidates.add(power)
+        power *= 2
+    if not powers_of_two_only and trip <= 64:
+        for divisor in range(2, limit + 1):
+            if trip % divisor == 0:
+                candidates.add(divisor)
+    return sorted(candidates)
+
+
+def candidate_unroll_factors(
+    band: BandInfo, parallel_factor: int, options: ParallelizationOptions
+) -> List[List[int]]:
+    """Enumerate unroll-factor vectors whose product does not exceed the budget."""
+    per_loop = [
+        _factor_candidates_for_loop(
+            trip, flag, parallel_factor, options.powers_of_two_only
+        )
+        for trip, flag in zip(band.trip_counts, band.parallel_flags)
+    ]
+    proposals: List[List[int]] = []
+
+    def recurse(index: int, current: List[int], product: int) -> None:
+        if len(proposals) >= options.max_proposals:
+            return
+        if index == len(per_loop):
+            proposals.append(list(current))
+            return
+        for factor in per_loop[index]:
+            new_product = product * factor
+            if new_product > parallel_factor:
+                break
+            current.append(factor)
+            recurse(index + 1, current, new_product)
+            current.pop()
+
+    recurse(0, [], 1)
+    return proposals
+
+
+def _violates_constraints(
+    factors: Sequence[int], constraints_list: Sequence[Sequence[Optional[int]]]
+) -> bool:
+    """Algorithm 4 lines 13-16: mutual-divisibility check."""
+    for constraints in constraints_list:
+        for constraint, factor in zip(constraints, factors):
+            if constraint is None:
+                continue
+            if constraint % factor != 0 and factor % constraint != 0:
+                return True
+    return False
+
+
+def proposal_cost(
+    band: BandInfo,
+    factors: Sequence[int],
+    constraints_list: Sequence[Sequence[Optional[int]]],
+) -> Tuple[float, float, float, int, float]:
+    """Rank one unroll-factor proposal.
+
+    The cost tuple is (iterations, DSPs, memory banks, max factor,
+    -inner-loop preference): fewer residual iterations first (latency), then
+    compute resources, then the buffer banks implied by the factors combined
+    with the alignment constraints, then structural tie-breakers that favour
+    balanced factor vectors with parallelism on inner loops.
+    """
+    iterations = 1.0
+    for trip, factor in zip(band.trip_counts, factors):
+        iterations *= math.ceil(trip / max(factor, 1))
+    product = 1
+    for factor in factors:
+        product *= factor
+    dsp = band.muls_per_iteration * product
+
+    # Combined constraint demand per loop position (from connected bands).
+    combined_constraint: List[int] = [1] * band.num_loops
+    for constraints in constraints_list:
+        for position, constraint in enumerate(constraints):
+            if constraint is not None:
+                combined_constraint[position] = max(
+                    combined_constraint[position], constraint
+                )
+
+    banks = 0.0
+    for access in band.accesses:
+        access_banks = 1.0
+        for position, stride in zip(access.dim_loop_positions, access.dim_strides):
+            if position is None:
+                continue
+            own_demand = factors[position] * max(abs(float(stride)), 1.0)
+            demand = max(own_demand, float(combined_constraint[position]))
+            access_banks *= max(demand, 1.0)
+        banks += access_banks
+
+    max_factor = max(factors) if factors else 1
+    inner_preference = sum(factor * index for index, factor in enumerate(factors))
+    return (iterations, dsp, banks, max_factor, -inner_preference)
+
+
+def parallelize_band(
+    band: BandInfo,
+    connections: Sequence[Connection],
+    parallel_factor: int,
+    finished_factors: Dict[int, List[int]],
+    options: ParallelizationOptions,
+    result: ParallelizationResult,
+) -> List[int]:
+    """Algorithm 4 applied to one band; returns the chosen unroll factors."""
+    # Gather constraints from already-parallelized connected bands.
+    constraints_list: List[List[Optional[int]]] = []
+    if options.connection_aware:
+        for connection in connections:
+            if connection.source is band and id(connection.target) in finished_factors:
+                other = finished_factors[id(connection.target)]
+                constraints_list.append(connection.constraints_for(band, other))
+            elif connection.target is band and id(connection.source) in finished_factors:
+                other = finished_factors[id(connection.source)]
+                constraints_list.append(connection.constraints_for(band, other))
+
+    proposals = candidate_unroll_factors(band, parallel_factor, options)
+    best: Optional[List[int]] = None
+    best_cost: Optional[Tuple] = None
+    for factors in proposals:
+        result.proposals_evaluated += 1
+        if options.connection_aware and _violates_constraints(factors, constraints_list):
+            result.constraint_violations += 1
+            continue
+        cost = proposal_cost(band, factors, constraints_list)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best = factors
+    if best is None:
+        best = [1] * band.num_loops
+    band.apply_unroll_factors(best)
+    if options.pipeline and band.band:
+        innermost = band.band[-1]
+        # Pipeline the innermost loop of the (possibly deeper) nest.
+        current = innermost
+        while True:
+            inner = [
+                op for op in current.body.operations if isinstance(op, AffineForOp)
+            ]
+            if not inner:
+                break
+            current = inner[0]
+        pipeline_loop(current)
+    return list(best)
+
+
+def parallelize_schedule(
+    schedule: ScheduleOp,
+    options: Optional[ParallelizationOptions] = None,
+) -> ParallelizationResult:
+    """Run the full IA+CA parallelization on one schedule.
+
+    Applies unroll factors and pipelining to every band, then derives array
+    partitions for all buffers from the final factors.
+    """
+    options = options or ParallelizationOptions()
+    result = ParallelizationResult()
+    bands = collect_band_infos(schedule)
+    if not bands:
+        return result
+    connections = collect_connections(schedule, bands)
+    parallel_factors = generate_parallel_factors(bands, options)
+    ordered = sort_bands(bands, connections)
+
+    finished: Dict[int, List[int]] = {}
+    for index, band in enumerate(ordered):
+        label = f"{band.label}#{index}"
+        factors = parallelize_band(
+            band,
+            connections,
+            parallel_factors[id(band)],
+            finished,
+            options,
+            result,
+        )
+        finished[id(band)] = factors
+        result.unroll_factors[label] = factors
+        result.parallel_factors[label] = parallel_factors[id(band)]
+        result.intensities[label] = band.intensity
+
+    partition_buffers_in(schedule)
+    return result
+
+
+def parallelize_function_bands(
+    func,
+    options: Optional[ParallelizationOptions] = None,
+) -> ParallelizationResult:
+    """Parallelize the loop bands of a function that has no dataflow schedule.
+
+    Single-band kernels expose no inter-task optimization opportunity; HIDA
+    (like ScaleHLS) still applies the intra-band loop optimizations — unroll
+    factor selection under the parallel-factor budget, loop pipelining and
+    array partitioning — which is why the two frameworks perform on par on
+    the paper's single-loop kernels.
+    """
+    from ..transforms.loop_transforms import loop_bands_of
+    from .analysis import band_info_of
+
+    options = options or ParallelizationOptions()
+    result = ParallelizationResult()
+    bands = [band_info_of(func, band) for band in loop_bands_of(func)]
+    if not bands:
+        return result
+    parallel_factors = generate_parallel_factors(bands, options)
+    for index, band in enumerate(bands):
+        factors = parallelize_band(
+            band, [], parallel_factors[id(band)], {}, options, result
+        )
+        label = f"{band.label}#{index}"
+        result.unroll_factors[label] = factors
+        result.parallel_factors[label] = parallel_factors[id(band)]
+        result.intensities[label] = band.intensity
+    partition_buffers_in(func)
+    return result
+
+
+def count_misalignments(
+    schedule: ScheduleOp,
+    bands: Optional[Sequence[BandInfo]] = None,
+    connections: Optional[Sequence[Connection]] = None,
+) -> int:
+    """Count loop pairs whose final unroll factors violate alignment.
+
+    A connected loop pair is misaligned when the two chosen unroll factors
+    (after stride scaling) are mutually indivisible.  Misalignment forces the
+    compiler to generate fine-grained access control logic, which is what
+    degrades the connection-unaware modes at large parallel factors in the
+    Figure 11 ablation.
+    """
+    if bands is None:
+        bands = collect_band_infos(schedule)
+    if connections is None:
+        connections = collect_connections(schedule, bands)
+    violations = 0
+    for connection in connections:
+        source_factors = connection.source.unroll_factors()
+        target_factors = connection.target.unroll_factors()
+        constraints = connection.constraints_for(connection.target, source_factors)
+        for constraint, factor in zip(constraints, target_factors):
+            if constraint is None:
+                continue
+            if constraint % factor != 0 and factor % constraint != 0:
+                violations += 1
+    return violations

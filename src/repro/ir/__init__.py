@@ -1,0 +1,121 @@
+"""repro.ir — a compact SSA IR kernel (values, ops, regions, passes).
+
+This package provides the compiler infrastructure substrate that the HIDA
+dialects and optimizations are built on.  See :mod:`repro.ir.core` for the
+object model and :mod:`repro.ir.passes` for the pass infrastructure.
+"""
+
+from .builder import Builder, InsertionPoint
+from .builtin import ConstantOp, FuncOp, ModuleOp, ReturnOp, UnrealizedCastOp
+from .core import (
+    Block,
+    BlockArgument,
+    IRError,
+    Operation,
+    OpResult,
+    Region,
+    Value,
+    WalkOrder,
+    create_operation,
+    register_operation,
+    registered_operations,
+)
+from .passes import (
+    AnalysisManager,
+    FunctionPass,
+    Pass,
+    PassManager,
+    RewritePattern,
+    apply_patterns_greedily,
+)
+from .printer import IRPrinter, print_op
+from .types import (
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    StreamType,
+    TensorType,
+    TokenType,
+    Type,
+    element_type_of,
+    f16,
+    f32,
+    f64,
+    i1,
+    i8,
+    i16,
+    i32,
+    i64,
+    index,
+    memref_of,
+    none,
+    shape_of,
+    tensor_of,
+    token,
+)
+from .verifier import VerificationError, verify
+
+__all__ = [
+    # core
+    "Block",
+    "BlockArgument",
+    "IRError",
+    "Operation",
+    "OpResult",
+    "Region",
+    "Value",
+    "WalkOrder",
+    "create_operation",
+    "register_operation",
+    "registered_operations",
+    # builtin ops
+    "ConstantOp",
+    "FuncOp",
+    "ModuleOp",
+    "ReturnOp",
+    "UnrealizedCastOp",
+    # builder
+    "Builder",
+    "InsertionPoint",
+    # passes
+    "AnalysisManager",
+    "FunctionPass",
+    "Pass",
+    "PassManager",
+    "RewritePattern",
+    "apply_patterns_greedily",
+    # printing / verification
+    "IRPrinter",
+    "print_op",
+    "VerificationError",
+    "verify",
+    # types
+    "Type",
+    "NoneType",
+    "IndexType",
+    "IntegerType",
+    "FloatType",
+    "TokenType",
+    "TensorType",
+    "MemRefType",
+    "StreamType",
+    "FunctionType",
+    "element_type_of",
+    "shape_of",
+    "memref_of",
+    "tensor_of",
+    "i1",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "f16",
+    "f32",
+    "f64",
+    "index",
+    "none",
+    "token",
+]

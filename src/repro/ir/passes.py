@@ -1,0 +1,179 @@
+"""Pass infrastructure: passes, a pass manager and a greedy rewrite driver.
+
+Mirrors the MLIR terminology used in the paper: *Transform* passes rewrite
+IR within a dialect, *Conversion* passes move between dialects (lowering),
+and *Analysis* results are cached per operation and invalidated whenever a
+pass modifies the IR.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type as PyType
+
+from .builtin import FuncOp, ModuleOp
+from .core import Operation
+from .verifier import verify
+
+__all__ = [
+    "Pass",
+    "FunctionPass",
+    "PassManager",
+    "PassTiming",
+    "RewritePattern",
+    "apply_patterns_greedily",
+    "AnalysisManager",
+]
+
+
+class AnalysisManager:
+    """Caches analysis results keyed by (analysis constructor, operation)."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Any, Any] = {}
+
+    def get(self, analysis_ctor: Callable[[Operation], Any], op: Operation) -> Any:
+        key = (analysis_ctor, id(op))
+        if key not in self._cache:
+            self._cache[key] = analysis_ctor(op)
+        return self._cache[key]
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+
+class Pass(abc.ABC):
+    """A unit of IR transformation or analysis applied to a module."""
+
+    #: Human readable pass name; defaults to the class name.
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = self.__class__.__name__
+
+    @abc.abstractmethod
+    def run(self, module: ModuleOp, analyses: AnalysisManager) -> None:
+        """Apply the pass to ``module`` in place."""
+
+    def __repr__(self) -> str:
+        return f"<Pass {self.name}>"
+
+
+class FunctionPass(Pass):
+    """A pass applied independently to every function in the module."""
+
+    def run(self, module: ModuleOp, analyses: AnalysisManager) -> None:
+        for func in module.functions:
+            self.run_on_function(func, analyses)
+
+    @abc.abstractmethod
+    def run_on_function(self, func: FuncOp, analyses: AnalysisManager) -> None:
+        """Apply the pass to a single function."""
+
+
+class PassTiming:
+    """Record of one pass execution within a pipeline."""
+
+    def __init__(self, name: str, seconds: float) -> None:
+        self.name = name
+        self.seconds = seconds
+
+    def __repr__(self) -> str:
+        return f"{self.name}: {self.seconds * 1e3:.2f} ms"
+
+
+class PassManager:
+    """Runs a sequence of passes over a module, optionally verifying between."""
+
+    def __init__(
+        self,
+        passes: Sequence[Pass] = (),
+        verify_each: bool = True,
+    ) -> None:
+        self._passes: List[Pass] = list(passes)
+        self.verify_each = verify_each
+        self.timings: List[PassTiming] = []
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self._passes.append(pass_)
+        return self
+
+    def extend(self, passes: Sequence[Pass]) -> "PassManager":
+        self._passes.extend(passes)
+        return self
+
+    @property
+    def passes(self) -> List[Pass]:
+        return list(self._passes)
+
+    def run(self, module: ModuleOp) -> ModuleOp:
+        analyses = AnalysisManager()
+        self.timings = []
+        for pass_ in self._passes:
+            start = time.perf_counter()
+            pass_.run(module, analyses)
+            analyses.invalidate()
+            self.timings.append(PassTiming(pass_.name, time.perf_counter() - start))
+            if self.verify_each:
+                verify(module)
+        return module
+
+    def total_time(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    def __repr__(self) -> str:
+        names = ", ".join(p.name for p in self._passes)
+        return f"<PassManager [{names}]>"
+
+
+class RewritePattern(abc.ABC):
+    """A local rewrite matched against a single operation.
+
+    ``match_and_rewrite`` returns True when the pattern applied (and thus may
+    have changed the IR), False when it did not match.
+    """
+
+    #: Restrict matches to this op class (None matches any op).
+    root: Optional[PyType[Operation]] = None
+    #: Higher-benefit patterns are tried first.
+    benefit: int = 1
+
+    @abc.abstractmethod
+    def match_and_rewrite(self, op: Operation) -> bool:
+        raise NotImplementedError
+
+    def matches_root(self, op: Operation) -> bool:
+        return self.root is None or isinstance(op, self.root)
+
+
+def apply_patterns_greedily(
+    top: Operation,
+    patterns: Sequence[RewritePattern],
+    max_iterations: int = 16,
+) -> bool:
+    """Repeatedly apply patterns anywhere under ``top`` until fixpoint.
+
+    Returns True if any pattern ever applied.  Iteration is bounded by
+    ``max_iterations`` sweeps to guarantee termination for non-converging
+    pattern sets.
+    """
+    ordered = sorted(patterns, key=lambda p: -p.benefit)
+    changed_any = False
+    for _ in range(max_iterations):
+        changed = False
+        # Materialize the op list up front: patterns may erase/move ops.
+        for op in list(top.walk()):
+            if op.parent is None and op is not top:
+                continue  # erased by an earlier pattern this sweep
+            for pattern in ordered:
+                if not pattern.matches_root(op):
+                    continue
+                if pattern.match_and_rewrite(op):
+                    changed = True
+                    changed_any = True
+                    break
+        if not changed:
+            break
+    return changed_any

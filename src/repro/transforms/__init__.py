@@ -1,0 +1,46 @@
+"""repro.transforms — generic loop and bufferization transforms."""
+
+from .array_partition import (
+    access_partition_demand,
+    partition_buffers_in,
+    partition_factors_of_value,
+    partition_for_accesses,
+)
+from .canonicalize import (
+    CanonicalizePass,
+    eliminate_dead_code,
+    simplify_dispatch_hierarchy,
+)
+from .linalg_to_affine import LowerLinalgToAffinePass, lower_linalg_to_affine
+from .loop_transforms import (
+    annotate_unroll,
+    innermost_loops_of,
+    loop_bands_of,
+    normalize_band_unroll,
+    pipeline_innermost_loops,
+    pipeline_loop,
+    tile_band,
+    tile_loop,
+    unroll_loop,
+)
+
+__all__ = [
+    "access_partition_demand",
+    "partition_buffers_in",
+    "partition_factors_of_value",
+    "partition_for_accesses",
+    "CanonicalizePass",
+    "eliminate_dead_code",
+    "simplify_dispatch_hierarchy",
+    "LowerLinalgToAffinePass",
+    "lower_linalg_to_affine",
+    "annotate_unroll",
+    "innermost_loops_of",
+    "loop_bands_of",
+    "normalize_band_unroll",
+    "pipeline_innermost_loops",
+    "pipeline_loop",
+    "tile_band",
+    "tile_loop",
+    "unroll_loop",
+]

@@ -1,0 +1,184 @@
+"""Array partitioning driven by loop unroll factors and access maps.
+
+Array partitioning divides a buffer into banks so that unrolled loop bodies
+can access multiple elements per cycle.  Following the HIDA approach, the
+partition factor of a buffer dimension is derived from the unroll factors of
+the loops indexing that dimension, scaled by the access stride (a stride-2
+access with unroll 4 touches a range of 8 elements per cycle).
+
+The resulting :class:`~repro.dialects.hls.ArrayPartition` is attached to the
+buffer (``hida.buffer`` attribute or value annotation) and consumed by the
+resource model to compute BRAM bank counts (Table 6 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dialects.affine import (
+    AffineForOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    enclosing_loops,
+)
+from ..dialects.dataflow import BufferOp, NodeOp
+from ..dialects.hls import ArrayPartition, PartitionKind, partition_of, set_partition
+from ..ir.core import Operation, Value
+
+__all__ = [
+    "access_partition_demand",
+    "partition_for_accesses",
+    "partition_buffers_in",
+    "partition_factors_of_value",
+]
+
+
+def _loop_unroll_product_for_dim(
+    access: Operation, dim_position: Optional[int], stride: float
+) -> int:
+    """Partition demand of one buffer dimension for one access.
+
+    ``dim_position`` is the index-operand position driving that dimension; the
+    demand is the unroll factor of the loop owning that IV times the access
+    stride magnitude (rounded up).
+    """
+    if dim_position is None:
+        return 1
+    index_operands = list(access.index_operands)
+    if dim_position >= len(index_operands):
+        return 1
+    iv = index_operands[dim_position]
+    owner_block = iv.owner
+    loop = owner_block.parent_op if owner_block is not None else None
+    if not isinstance(loop, AffineForOp):
+        return 1
+    factor = loop.unroll_factor
+    stride_mag = abs(float(stride)) if stride else 1.0
+    return max(1, math.ceil(factor * max(stride_mag, 1.0)))
+
+
+def access_partition_demand(access: Operation, rank: int) -> List[int]:
+    """Per-dimension partition demand of a single affine load/store."""
+    access_map = access.access_map
+    positions = access_map.result_dim_positions()
+    strides = access_map.result_strides()
+    demand = []
+    for d in range(rank):
+        if d < len(positions):
+            demand.append(
+                _loop_unroll_product_for_dim(access, positions[d], strides[d])
+            )
+        else:
+            demand.append(1)
+    return demand
+
+
+def partition_for_accesses(
+    buffer: Value, accesses: Sequence[Operation]
+) -> ArrayPartition:
+    """Combine the demands of all accesses into one partition for ``buffer``.
+
+    The per-dimension factor is the maximum demand over all accesses; cyclic
+    partitioning is used (it matches unrolled innermost access patterns) and
+    factors are clamped to the dimension size.
+    """
+    shape = buffer.type.shape
+    rank = len(shape)
+    factors = [1] * rank
+    for access in accesses:
+        demand = access_partition_demand(access, rank)
+        for d in range(rank):
+            factors[d] = max(factors[d], demand[d])
+    factors = [min(f, max(int(s), 1)) for f, s in zip(factors, shape)]
+    kinds = [
+        PartitionKind.CYCLIC if f > 1 else PartitionKind.NONE for f in factors
+    ]
+    return ArrayPartition(kinds, factors)
+
+
+def _accesses_of(buffer: Value, within: Optional[Operation] = None) -> List[Operation]:
+    accesses = []
+    for user in buffer.users:
+        if isinstance(user, (AffineLoadOp, AffineStoreOp)):
+            if within is None or within.is_ancestor_of(user):
+                accesses.append(user)
+    return accesses
+
+
+def partition_factors_of_value(buffer: Value) -> Tuple[int, ...]:
+    """Current partition factors of a buffer value (all ones if none).
+
+    Node and schedule block arguments are resolved to the underlying buffer
+    they alias, so queries made from inside an isolated node see the
+    partition chosen at the schedule level.
+    """
+    buffer = _resolve_through_nodes(buffer)
+    if isinstance(buffer.defining_op, BufferOp):
+        return buffer.defining_op.partition.factors
+    partition = partition_of(buffer)
+    if partition is not None:
+        return partition.factors
+    return tuple([1] * len(buffer.type.shape))
+
+
+def partition_buffers_in(top: Operation) -> Dict[int, ArrayPartition]:
+    """Derive and attach partitions for every buffer accessed under ``top``.
+
+    Handles both ``hida.buffer`` results (partition stored on the op) and
+    plain memref values (annotation attached via the hls dialect helpers).
+    Node block arguments are resolved to the schedule-level buffer they alias
+    so that demands from all accessing nodes are combined, which is exactly
+    the connection-aware behaviour evaluated in Table 6.
+
+    Returns a map from ``id(buffer value)`` to the chosen partition.
+    """
+    # Gather accesses per underlying buffer.
+    demands: Dict[int, Tuple[Value, List[Operation]]] = {}
+    for op in top.walk():
+        if not isinstance(op, (AffineLoadOp, AffineStoreOp)):
+            continue
+        buffer = op.memref
+        # Resolve through node block arguments to the outer buffer.
+        resolved = _resolve_through_nodes(buffer)
+        entry = demands.setdefault(id(resolved), (resolved, []))
+        entry[1].append(op)
+
+    chosen: Dict[int, ArrayPartition] = {}
+    for key, (buffer, accesses) in demands.items():
+        partition = partition_for_accesses(buffer, accesses)
+        defining = buffer.defining_op
+        if isinstance(defining, BufferOp):
+            defining.set_partition(partition)
+        else:
+            try:
+                set_partition(buffer, partition)
+            except ValueError:
+                pass
+        chosen[key] = partition
+    return chosen
+
+
+def _resolve_through_nodes(buffer: Value) -> Value:
+    """Map a node/schedule block argument back to the buffer passed in."""
+    current = buffer
+    seen = 0
+    while seen < 16:
+        seen += 1
+        owner = current.owner
+        if owner is None or not hasattr(owner, "parent_op"):
+            return current
+        from ..ir.core import Block
+
+        if not isinstance(owner, Block):
+            return current
+        parent = owner.parent_op
+        if isinstance(parent, NodeOp) or (
+            parent is not None and parent.name == "hida.schedule"
+        ):
+            index = current.index
+            if index < parent.num_operands:
+                current = parent.operand(index)
+                continue
+        return current
+    return current

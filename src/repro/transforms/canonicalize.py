@@ -1,0 +1,109 @@
+"""Canonicalization: dead code elimination and dataflow hierarchy cleanup."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..dialects.dataflow import DispatchOp, TaskOp, YieldOp
+from ..ir.builtin import FuncOp, ModuleOp, ReturnOp
+from ..ir.core import Operation
+from ..ir.passes import AnalysisManager, Pass
+
+__all__ = [
+    "eliminate_dead_code",
+    "simplify_dispatch_hierarchy",
+    "CanonicalizePass",
+]
+
+#: Operations that have observable effects and must never be removed even if
+#: their results are unused.
+_SIDE_EFFECT_OPS = {
+    "affine.store",
+    "memref.store",
+    "memref.copy",
+    "memref.dealloc",
+    "func.return",
+    "affine.yield",
+    "scf.yield",
+    "hida.yield",
+    "hida.stream_write",
+    "hls.array_partition",
+    "hls.interface",
+    "hida.pack",
+    "hida.bundle",
+}
+
+
+def _has_side_effects(op: Operation) -> bool:
+    if op.name in _SIDE_EFFECT_OPS:
+        return True
+    # Ops with regions may contain side-effecting ops.
+    for nested in op.walk():
+        if nested is not op and nested.name in _SIDE_EFFECT_OPS:
+            return True
+    return False
+
+
+def eliminate_dead_code(top: Operation, max_iterations: int = 8) -> int:
+    """Erase ops whose results are unused and that have no side effects.
+
+    Returns the number of erased operations.
+    """
+    erased_total = 0
+    for _ in range(max_iterations):
+        erased = 0
+        for op in list(top.walk()):
+            if op is top or op.parent is None:
+                continue
+            if isinstance(op, (FuncOp, ModuleOp)):
+                continue
+            if any(result.has_uses for result in op.results):
+                continue
+            if _has_side_effects(op):
+                continue
+            op.erase()
+            erased += 1
+        erased_total += erased
+        if not erased:
+            break
+    return erased_total
+
+
+def simplify_dispatch_hierarchy(dispatch: DispatchOp) -> None:
+    """Canonicalize the dispatch/task hierarchy.
+
+    A task whose body contains only a single nested task (plus the yield) is
+    flattened: the inner task's contents are inlined into the outer task.
+    A dispatch containing a single task keeps its structure (it still marks a
+    legal dataflow region), matching Algorithm 2 line 10.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for task in dispatch.walk_ops(TaskOp):
+            payload = task.payload_ops()
+            if len(payload) == 1 and isinstance(payload[0], TaskOp):
+                inner: TaskOp = payload[0]
+                inner_yield = inner.yield_op
+                yielded = list(inner_yield.operands) if inner_yield else []
+                for op in list(inner.body.operations):
+                    if isinstance(op, YieldOp):
+                        continue
+                    op.detach()
+                    op.move_before(inner)
+                if inner.num_results:
+                    inner.replace_all_uses_with(yielded)
+                inner.erase()
+                changed = True
+                break
+
+
+class CanonicalizePass(Pass):
+    """Module-level canonicalization: DCE plus dispatch simplification."""
+
+    name = "canonicalize"
+
+    def run(self, module: ModuleOp, analyses: AnalysisManager) -> None:
+        for dispatch in module.walk_ops(DispatchOp):
+            simplify_dispatch_hierarchy(dispatch)
+        eliminate_dead_code(module)

@@ -1,0 +1,183 @@
+"""Loop-level transformations: unrolling, tiling, pipelining, permutation.
+
+These play the role of the ScaleHLS loop/directive transforms that HIDA
+reuses.  Unrolling and pipelining are expressed primarily as directives
+(attributes consumed by the QoR estimator and the HLS C++ emitter); literal
+unrolling is available for small factors and is exercised by the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..dialects.affine import (
+    AffineForOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    AffineYieldOp,
+    enclosing_loops,
+    get_perfectly_nested_band,
+)
+from ..dialects.affine_map import AffineMap, constant, dim
+from ..dialects.affine import AffineApplyOp
+from ..ir.builder import Builder, InsertionPoint
+from ..ir.core import Block, Operation, Value
+
+__all__ = [
+    "annotate_unroll",
+    "unroll_loop",
+    "pipeline_loop",
+    "pipeline_innermost_loops",
+    "tile_loop",
+    "tile_band",
+    "normalize_band_unroll",
+    "loop_bands_of",
+    "innermost_loops_of",
+]
+
+
+def loop_bands_of(op: Operation) -> List[List[AffineForOp]]:
+    """Top-level loop bands directly inside ``op``'s regions (not nested ones)."""
+    bands: List[List[AffineForOp]] = []
+    for region in op.regions:
+        for block in region.blocks:
+            for child in block.operations:
+                if isinstance(child, AffineForOp):
+                    bands.append(get_perfectly_nested_band(child))
+    return bands
+
+
+def innermost_loops_of(op: Operation) -> List[AffineForOp]:
+    """All innermost affine loops nested in ``op``."""
+    result = []
+    for loop in op.walk():
+        if isinstance(loop, AffineForOp):
+            has_inner = any(
+                isinstance(child, AffineForOp) for child in loop.body.operations
+            )
+            if not has_inner:
+                result.append(loop)
+    return result
+
+
+def annotate_unroll(loop: AffineForOp, factor: int) -> None:
+    """Record an unroll directive on ``loop`` (clamped to its trip count)."""
+    factor = max(1, min(int(factor), max(loop.trip_count, 1)))
+    loop.set_unroll_factor(factor)
+
+
+def unroll_loop(loop: AffineForOp, factor: int, literal: bool = False) -> AffineForOp:
+    """Unroll ``loop`` by ``factor``.
+
+    With ``literal=False`` (default) only the directive attribute is set,
+    matching how downstream HLS tools consume unroll pragmas.  With
+    ``literal=True`` the loop body is physically replicated ``factor`` times
+    and the loop step is scaled, which is used in tests and small kernels.
+    """
+    annotate_unroll(loop, factor)
+    if not literal:
+        return loop
+    factor = loop.unroll_factor
+    if factor <= 1:
+        return loop
+    body = loop.body
+    original_ops = [
+        op for op in body.operations if not isinstance(op, AffineYieldOp)
+    ]
+    iv = loop.induction_variable
+    for copy_index in range(1, factor):
+        builder = Builder.at_end(body)
+        # shifted_iv = iv + copy_index * step
+        apply_op = builder.insert(
+            AffineApplyOp.create(
+                AffineMap(1, 0, [dim(0) + copy_index * loop.step]), [iv]
+            )
+        )
+        value_map: Dict[Value, Value] = {iv: apply_op.result()}
+        for op in original_ops:
+            builder.insert(op.clone(value_map))
+    loop.set_bounds(loop.lower_bound, loop.upper_bound, loop.step * factor)
+    loop.set_unroll_factor(1)
+    return loop
+
+
+def pipeline_loop(loop: AffineForOp, target_ii: int = 1) -> None:
+    """Apply the loop-pipeline directive to ``loop``."""
+    loop.set_pipeline(True, target_ii)
+
+
+def pipeline_innermost_loops(op: Operation, target_ii: int = 1) -> int:
+    """Pipeline every innermost loop nested in ``op``; returns the count."""
+    loops = innermost_loops_of(op)
+    for loop in loops:
+        pipeline_loop(loop, target_ii)
+    return len(loops)
+
+
+def tile_loop(loop: AffineForOp, tile_size: int) -> Optional[AffineForOp]:
+    """Tile one loop: the loop becomes the tile loop (stepping by the tile
+    size) and a new point loop is created inside it.
+
+    Returns the newly created point loop, or None when the tile size does not
+    divide the loop into more than one tile.
+    """
+    tile_size = int(tile_size)
+    if tile_size <= 0:
+        raise ValueError("tile size must be positive")
+    trip = loop.trip_count
+    if tile_size >= trip or tile_size < 1:
+        return None
+    original_step = loop.step
+    body = loop.body
+    original_ops = [
+        op for op in body.operations if not isinstance(op, AffineYieldOp)
+    ]
+    # The original loop becomes the tile loop.
+    loop.set_bounds(loop.lower_bound, loop.upper_bound, original_step * tile_size)
+    # Create the point loop and move the body into it.
+    builder = Builder.at_end(body)
+    point_loop = builder.insert(
+        AffineForOp.create(0, tile_size * original_step, original_step, name_hint="pt")
+    )
+    point_loop.set_attr("point_loop", True)
+    for op in original_ops:
+        op.detach()
+        point_loop.body.append(op)
+    # iv_combined = tile_iv + point_iv
+    inner_builder = Builder.at_start(point_loop.body)
+    combined = inner_builder.insert(
+        AffineApplyOp.create(
+            AffineMap(2, 0, [dim(0) + dim(1)]),
+            [loop.induction_variable, point_loop.induction_variable],
+        )
+    )
+    loop.induction_variable.replace_uses_if(
+        combined.result(),
+        lambda user: user is not combined and point_loop.is_ancestor_of(user),
+    )
+    return point_loop
+
+
+def tile_band(band: Sequence[AffineForOp], tile_sizes: Sequence[int]) -> List[AffineForOp]:
+    """Tile each loop of a band; returns the created point loops."""
+    point_loops = []
+    for loop, size in zip(band, tile_sizes):
+        point = tile_loop(loop, size)
+        if point is not None:
+            point_loops.append(point)
+    return point_loops
+
+
+def normalize_band_unroll(
+    band: Sequence[AffineForOp], unroll_factors: Sequence[int]
+) -> List[int]:
+    """Annotate a band with unroll factors, clamping each to its trip count.
+
+    Returns the clamped factors actually applied.
+    """
+    applied = []
+    for loop, factor in zip(band, unroll_factors):
+        annotate_unroll(loop, factor)
+        applied.append(loop.unroll_factor)
+    return applied

@@ -1,0 +1,445 @@
+"""Tests for the IR kernel: values, operations, regions, builder, printer,
+verifier and the pass infrastructure."""
+
+import pytest
+
+from repro.ir import (
+    Block,
+    Builder,
+    ConstantOp,
+    FuncOp,
+    FunctionType,
+    InsertionPoint,
+    IRError,
+    IntegerType,
+    MemRefType,
+    ModuleOp,
+    Operation,
+    Pass,
+    PassManager,
+    Region,
+    ReturnOp,
+    RewritePattern,
+    TensorType,
+    VerificationError,
+    apply_patterns_greedily,
+    create_operation,
+    f32,
+    i32,
+    index,
+    print_op,
+    registered_operations,
+    verify,
+)
+from repro.ir.passes import AnalysisManager, FunctionPass
+from repro.dialects.arith import AddFOp, MulFOp
+from repro.dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
+
+
+def build_simple_func(name="foo", shape=(8, 8)):
+    module = ModuleOp.create("m")
+    func = FuncOp.create(
+        name,
+        input_types=[MemRefType(shape, f32), MemRefType(shape, f32)],
+        top=True,
+    )
+    module.append(func)
+    return module, func
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+class TestTypes:
+    def test_integer_type_str_and_width(self):
+        assert str(IntegerType(8)) == "i8"
+        assert IntegerType(8).bitwidth == 8
+
+    def test_integer_type_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            IntegerType(0)
+
+    def test_tensor_type_shape_and_elements(self):
+        ty = TensorType((2, 3, 4), f32)
+        assert ty.rank == 3
+        assert ty.num_elements == 24
+        assert ty.bitwidth == 24 * 32
+
+    def test_memref_type_memory_space(self):
+        on_chip = MemRefType((4, 4), f32)
+        off_chip = on_chip.with_memory_space("dram")
+        assert on_chip.is_on_chip
+        assert not off_chip.is_on_chip
+        assert off_chip.shape == on_chip.shape
+
+    def test_memref_with_shape(self):
+        ty = MemRefType((4, 4), f32).with_shape((2, 8))
+        assert ty.shape == (2, 8)
+
+    def test_types_are_hashable_value_objects(self):
+        assert MemRefType((4,), f32) == MemRefType((4,), f32)
+        assert len({MemRefType((4,), f32), MemRefType((4,), f32)}) == 1
+
+    def test_function_type_str(self):
+        ty = FunctionType([i32], [f32])
+        assert "i32" in str(ty) and "f32" in str(ty)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError):
+            TensorType((-1, 4), f32)
+
+
+# ---------------------------------------------------------------------------
+# Operations, values and use lists
+# ---------------------------------------------------------------------------
+
+
+class TestOperations:
+    def test_create_operation_uses_registry(self):
+        op = create_operation("arith.constant", attributes={"value": 1})
+        assert isinstance(op, ConstantOp)
+        assert "arith.constant" in registered_operations()
+
+    def test_results_track_uses(self):
+        const = ConstantOp.create(1.0, f32)
+        add = AddFOp.create(const.result(), const.result())
+        assert const.result().num_uses == 2
+        assert add in const.result().users
+
+    def test_replace_all_uses_with(self):
+        a = ConstantOp.create(1.0, f32)
+        b = ConstantOp.create(2.0, f32)
+        add = AddFOp.create(a.result(), a.result())
+        a.result().replace_all_uses_with(b.result())
+        assert add.operand(0) is b.result()
+        assert not a.result().has_uses
+
+    def test_replace_uses_if_predicate(self):
+        a = ConstantOp.create(1.0, f32)
+        b = ConstantOp.create(2.0, f32)
+        add1 = AddFOp.create(a.result(), a.result())
+        add2 = AddFOp.create(a.result(), a.result())
+        a.result().replace_uses_if(b.result(), lambda user: user is add1)
+        assert add1.operand(0) is b.result()
+        assert add2.operand(0) is a.result()
+
+    def test_erase_with_uses_raises(self):
+        a = ConstantOp.create(1.0, f32)
+        AddFOp.create(a.result(), a.result())
+        with pytest.raises(IRError):
+            a.erase()
+
+    def test_erase_without_uses(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        const = builder.insert(ConstantOp.create(1.0, f32))
+        const.erase()
+        assert const not in func.entry_block.operations
+
+    def test_set_operand_updates_use_lists(self):
+        a = ConstantOp.create(1.0, f32)
+        b = ConstantOp.create(2.0, f32)
+        add = AddFOp.create(a.result(), a.result())
+        add.set_operand(1, b.result())
+        assert a.result().num_uses == 1
+        assert b.result().num_uses == 1
+
+    def test_attributes_accessors(self):
+        op = ConstantOp.create(5, i32)
+        op.set_attr("note", "hello")
+        assert op.get_attr("note") == "hello"
+        assert op.has_attr("note")
+        op.remove_attr("note")
+        assert not op.has_attr("note")
+        assert op.get_attr("missing", 7) == 7
+
+    def test_move_before_and_after(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        a = builder.insert(ConstantOp.create(1.0, f32))
+        b = builder.insert(ConstantOp.create(2.0, f32))
+        b.move_before(a)
+        ops = func.entry_block.operations
+        assert ops.index(b) < ops.index(a)
+        b.move_after(a)
+        ops = func.entry_block.operations
+        assert ops.index(b) > ops.index(a)
+
+    def test_is_before_in_block(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        a = builder.insert(ConstantOp.create(1.0, f32))
+        b = builder.insert(ConstantOp.create(2.0, f32))
+        assert a.is_before_in_block(b)
+        assert not b.is_before_in_block(a)
+
+    def test_is_ancestor_of(self):
+        loop = AffineForOp.create(0, 4)
+        inner = Builder.at_end(loop.body).insert(ConstantOp.create(1.0, f32))
+        assert loop.is_ancestor_of(inner)
+        assert loop.is_ancestor_of(loop)
+        assert loop.is_proper_ancestor_of(inner)
+        assert not loop.is_proper_ancestor_of(loop)
+
+    def test_walk_orders(self):
+        loop = AffineForOp.create(0, 4)
+        builder = Builder.at_end(loop.body)
+        inner = builder.insert(AffineForOp.create(0, 2))
+        pre = list(loop.walk(order="pre"))
+        post = list(loop.walk(order="post"))
+        assert pre[0] is loop
+        assert post[-1] is loop
+        assert inner in pre and inner in post
+
+    def test_walk_ops_filters_by_class(self):
+        loop = AffineForOp.create(0, 4)
+        Builder.at_end(loop.body).insert(AffineForOp.create(0, 2))
+        assert len(loop.walk_ops(AffineForOp)) == 2
+
+    def test_clone_remaps_nested_values(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        loop = builder.insert(AffineForOp.create(0, 8, name_hint="i"))
+        with builder.at_end_of(loop.body):
+            load = builder.insert(
+                AffineLoadOp.create(func.arguments[0], [loop.induction_variable])
+            )
+            builder.insert(
+                AffineStoreOp.create(
+                    load.result(), func.arguments[1], [loop.induction_variable]
+                )
+            )
+        clone = loop.clone()
+        cloned_load = [op for op in clone.walk() if isinstance(op, AffineLoadOp)][0]
+        assert cloned_load is not load
+        # The cloned load must index with the *cloned* loop's IV.
+        assert cloned_load.operands[1] is clone.induction_variable
+
+    def test_clone_preserves_attributes_independently(self):
+        loop = AffineForOp.create(0, 8)
+        loop.set_unroll_factor(4)
+        clone = loop.clone()
+        clone.set_unroll_factor(2)
+        assert loop.unroll_factor == 4
+        assert clone.unroll_factor == 2
+
+    def test_block_argument_management(self):
+        block = Block(arg_types=[f32])
+        arg = block.add_argument(i32, name_hint="x")
+        assert arg.index == 1
+        assert len(block.arguments) == 2
+        with pytest.raises(IRError):
+            AddFOp.create(arg, arg)  # create a use
+            block.erase_argument(1)
+
+    def test_region_entry_block_autocreated(self):
+        region = Region()
+        assert region.empty
+        entry = region.entry_block
+        assert not region.empty
+        assert region.entry_block is entry
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+
+
+class TestBuilder:
+    def test_insertion_point_before_after(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        a = builder.insert(ConstantOp.create(1.0, f32))
+        c = builder.insert(ConstantOp.create(3.0, f32))
+        b = InsertionPoint.before(c).insert(ConstantOp.create(2.0, f32))
+        ops = func.entry_block.operations
+        assert ops.index(a) < ops.index(b) < ops.index(c)
+
+    def test_builder_constant_helpers(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        value = builder.index_constant(5)
+        assert value.type == index
+        assert value.defining_op.value == 5
+
+    def test_builder_nested_context(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        loop = builder.insert(AffineForOp.create(0, 4))
+        with builder.at_end_of(loop.body):
+            builder.insert(ConstantOp.create(1.0, f32))
+        after = builder.insert(ConstantOp.create(2.0, f32))
+        assert after.parent is func.entry_block
+        assert len(loop.body.operations) == 1
+
+    def test_builder_without_ip_raises(self):
+        with pytest.raises(ValueError):
+            Builder().insert(ConstantOp.create(1.0, f32))
+
+
+# ---------------------------------------------------------------------------
+# Module / function ops
+# ---------------------------------------------------------------------------
+
+
+class TestBuiltinOps:
+    def test_module_lookup(self):
+        module, func = build_simple_func("bar")
+        assert module.lookup("bar") is func
+        assert module.lookup("missing") is None
+
+    def test_duplicate_function_names_fail_verification(self):
+        module, _ = build_simple_func("dup")
+        module.append(FuncOp.create("dup"))
+        with pytest.raises(Exception):
+            verify(module)
+
+    def test_func_top_attribute(self):
+        _, func = build_simple_func()
+        assert func.is_top
+        other = FuncOp.create("helper")
+        assert not other.is_top
+
+    def test_func_arguments_match_type(self):
+        _, func = build_simple_func()
+        assert len(func.arguments) == len(func.function_type.inputs)
+
+
+# ---------------------------------------------------------------------------
+# Printer
+# ---------------------------------------------------------------------------
+
+
+class TestPrinter:
+    def test_print_contains_op_names_and_attrs(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        loop = builder.insert(AffineForOp.create(0, 16, name_hint="i"))
+        loop.set_pipeline(True)
+        text = print_op(module)
+        assert "affine.for" in text
+        assert "func.func" in text
+        assert "pipeline = true" in text
+        assert "upper_bound = 16" in text
+
+    def test_print_stable_value_names(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        builder.insert(ConstantOp.create(1.0, f32))
+        text1 = print_op(module)
+        text2 = print_op(module)
+        assert text1 == text2
+
+
+# ---------------------------------------------------------------------------
+# Verifier
+# ---------------------------------------------------------------------------
+
+
+class TestVerifier:
+    def test_valid_ir_verifies(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        loop = builder.insert(AffineForOp.create(0, 8))
+        with builder.at_end_of(loop.body):
+            load = builder.insert(
+                AffineLoadOp.create(func.arguments[0], [loop.induction_variable])
+            )
+            builder.insert(
+                AffineStoreOp.create(
+                    load.result(), func.arguments[1], [loop.induction_variable]
+                )
+            )
+        builder.insert(ReturnOp.create())
+        assert verify(module) == []
+
+    def test_use_before_def_detected(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        a = builder.insert(ConstantOp.create(1.0, f32))
+        add = builder.insert(AddFOp.create(a.result(), a.result()))
+        # Move the definition after the use.
+        a.move_after(add)
+        errors = verify(module, raise_on_error=False)
+        assert errors
+        with pytest.raises(VerificationError):
+            verify(module)
+
+    def test_value_from_sibling_region_detected(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        loop1 = builder.insert(AffineForOp.create(0, 4))
+        loop2 = builder.insert(AffineForOp.create(0, 4))
+        inner = Builder.at_end(loop1.body).insert(ConstantOp.create(1.0, f32))
+        Builder.at_end(loop2.body).insert(AddFOp.create(inner.result(), inner.result()))
+        errors = verify(module, raise_on_error=False)
+        assert any("not visible" in e for e in errors)
+
+
+# ---------------------------------------------------------------------------
+# Pass infrastructure
+# ---------------------------------------------------------------------------
+
+
+class _CountLoopsPass(FunctionPass):
+    name = "count-loops"
+
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+
+    def run_on_function(self, func, analyses):
+        self.count += len(func.walk_ops(AffineForOp))
+
+
+class _UnrollAttrPattern(RewritePattern):
+    root = AffineForOp
+
+    def match_and_rewrite(self, op):
+        if op.get_attr("marked", False):
+            return False
+        op.set_attr("marked", True)
+        return True
+
+
+class TestPasses:
+    def test_pass_manager_runs_in_order_and_times(self):
+        module, func = build_simple_func()
+        Builder.at_end(func.entry_block).insert(AffineForOp.create(0, 4))
+        counter = _CountLoopsPass()
+        pm = PassManager([counter], verify_each=True)
+        pm.run(module)
+        assert counter.count == 1
+        assert len(pm.timings) == 1
+        assert pm.total_time() >= 0
+
+    def test_greedy_rewriter_reaches_fixpoint(self):
+        module, func = build_simple_func()
+        builder = Builder.at_end(func.entry_block)
+        builder.insert(AffineForOp.create(0, 4))
+        builder.insert(AffineForOp.create(0, 8))
+        changed = apply_patterns_greedily(module, [_UnrollAttrPattern()])
+        assert changed
+        assert all(
+            loop.get_attr("marked") for loop in module.walk_ops(AffineForOp)
+        )
+        # Second run: nothing left to do.
+        assert not apply_patterns_greedily(module, [_UnrollAttrPattern()])
+
+    def test_analysis_manager_caches(self):
+        calls = []
+
+        def analysis(op):
+            calls.append(op)
+            return 42
+
+        manager = AnalysisManager()
+        module = ModuleOp.create("m")
+        assert manager.get(analysis, module) == 42
+        assert manager.get(analysis, module) == 42
+        assert len(calls) == 1
+        manager.invalidate()
+        manager.get(analysis, module)
+        assert len(calls) == 2

@@ -1,0 +1,270 @@
+"""Tests for intensity/connection analysis and IA+CA parallelization —
+reproducing Tables 4, 5 and 6 of the paper on the Listing-1 example."""
+
+import pytest
+
+from repro.dialects.dataflow import BufferOp
+from repro.frontend.cpp import build_listing1
+from repro.hida import (
+    HidaOptions,
+    ParallelizationOptions,
+    collect_band_infos,
+    collect_connections,
+    compile_module,
+    connection_table,
+    count_misalignments,
+    generate_parallel_factors,
+    is_parallel_loop,
+    node_intensity,
+    parallelize_schedule,
+    sort_bands,
+)
+from repro.hida.parallelize import candidate_unroll_factors, proposal_cost
+from repro.ir import verify
+
+
+def lower_listing1_to_schedule(fuse=False):
+    module = build_listing1()
+    from repro.hida import construct_functional_dataflow, lower_to_structural_dataflow
+
+    construct_functional_dataflow(module)
+    schedules = lower_to_structural_dataflow(module)
+    return module, schedules[0]
+
+
+def compile_listing1(**overrides):
+    module = build_listing1()
+    options = HidaOptions(
+        platform="zu3eg", max_parallel_factor=32, tile_size=0, fuse_tasks=False
+    )
+    for key, value in overrides.items():
+        setattr(options, key, value)
+    return compile_module(module, options)
+
+
+@pytest.fixture(scope="module")
+def listing1_analysis():
+    _, schedule = lower_listing1_to_schedule()
+    bands = collect_band_infos(schedule)
+    connections = collect_connections(schedule, bands)
+    return schedule, bands, connections
+
+
+class TestIntensityAnalysis:
+    def test_band_intensities_match_table5(self, listing1_analysis):
+        _, bands, _ = listing1_analysis
+        intensities = sorted(band.intensity for band in bands)
+        assert intensities == [256, 512, 4096]
+
+    def test_node_intensity_counts_compute_over_stores(self, listing1_analysis):
+        schedule, bands, _ = listing1_analysis
+        compute_band = max(bands, key=lambda b: b.intensity)
+        assert compute_band.muls_per_iteration == 1
+        assert node_intensity(compute_band.node) == 4096
+
+    def test_parallel_loop_detection(self, listing1_analysis):
+        _, bands, _ = listing1_analysis
+        compute_band = max(bands, key=lambda b: b.intensity)
+        # i and j are parallel (they index the output), k is a reduction.
+        assert compute_band.parallel_flags == [True, True, False]
+        load_band = min(bands, key=lambda b: b.intensity)
+        assert all(load_band.parallel_flags)
+
+
+class TestConnectionAnalysis:
+    def test_two_connections_found(self, listing1_analysis):
+        _, _, connections = listing1_analysis
+        assert len(connections) == 2
+        buffers = {c.buffer.name_hint for c in connections}
+        assert buffers == {"A", "B"}
+
+    def test_table4_permutation_maps_for_a(self, listing1_analysis):
+        _, _, connections = listing1_analysis
+        conn_a = [c for c in connections if c.buffer.name_hint == "A"][0]
+        assert conn_a.source_to_target_permutation() == [0, None, 1]
+        assert conn_a.target_to_source_permutation() == [0, 2]
+
+    def test_table4_scaling_maps_for_a(self, listing1_analysis):
+        _, _, connections = listing1_analysis
+        conn_a = [c for c in connections if c.buffer.name_hint == "A"][0]
+        assert [float(x) for x in conn_a.source_to_target_scaling()] == [0.5, 1.0]
+        t_to_s = conn_a.target_to_source_scaling()
+        assert [None if x is None else float(x) for x in t_to_s] == [2.0, None, 1.0]
+
+    def test_table4_maps_for_b(self, listing1_analysis):
+        _, _, connections = listing1_analysis
+        conn_b = [c for c in connections if c.buffer.name_hint == "B"][0]
+        assert conn_b.source_to_target_permutation() == [None, 1, 0]
+        assert conn_b.target_to_source_permutation() == [2, 1]
+        assert [float(x) for x in conn_b.source_to_target_scaling()] == [1.0, 1.0]
+
+    def test_connection_table_rows(self, listing1_analysis):
+        _, _, connections = listing1_analysis
+        rows = connection_table(connections)
+        assert len(rows) == 2
+        assert {"source", "target", "buffer", "s_to_t_permutation"} <= set(rows[0])
+
+    def test_constraints_projection(self, listing1_analysis):
+        _, bands, connections = listing1_analysis
+        conn_a = [c for c in connections if c.buffer.name_hint == "A"][0]
+        # With Node2 (target) unrolled [4, 8, 1], the constraint on Node0 is
+        # [8, 1] (stride-2 read doubles the demand on dim 0).
+        constraints = conn_a.constraints_for(conn_a.source, [4, 8, 1])
+        assert constraints == [8, 1]
+
+
+class TestParallelFactorGeneration:
+    def test_intensity_aware_factors_match_table5(self, listing1_analysis):
+        _, bands, _ = listing1_analysis
+        options = ParallelizationOptions(max_parallel_factor=32)
+        factors = generate_parallel_factors(bands, options)
+        by_intensity = {band.intensity: factors[id(band)] for band in bands}
+        assert by_intensity[4096] == 32
+        assert by_intensity[512] == 4
+        assert by_intensity[256] == 2
+
+    def test_naive_factors_all_equal_max(self, listing1_analysis):
+        _, bands, _ = listing1_analysis
+        options = ParallelizationOptions.naive(32)
+        factors = generate_parallel_factors(bands, options)
+        assert all(f == 32 for f in factors.values())
+
+    def test_factor_capped_by_iteration_space(self):
+        _, schedule = lower_listing1_to_schedule()
+        bands = collect_band_infos(schedule)
+        options = ParallelizationOptions(max_parallel_factor=100000)
+        factors = generate_parallel_factors(bands, options)
+        for band in bands:
+            space = 1
+            for trip in band.trip_counts:
+                space *= trip
+            assert factors[id(band)] <= space
+
+    def test_sort_order_connections_then_intensity(self, listing1_analysis):
+        _, bands, connections = listing1_analysis
+        ordered = sort_bands(bands, connections)
+        assert ordered[0].intensity == 4096  # two connections
+        assert ordered[1].intensity == 512  # one connection, higher intensity
+        assert ordered[2].intensity == 256
+
+
+class TestCandidateGeneration:
+    def test_candidates_respect_budget_and_parallel_flags(self, listing1_analysis):
+        _, bands, _ = listing1_analysis
+        compute_band = max(bands, key=lambda b: b.intensity)
+        options = ParallelizationOptions(max_parallel_factor=32)
+        proposals = candidate_unroll_factors(compute_band, 32, options)
+        assert proposals
+        for factors in proposals:
+            product = 1
+            for factor in factors:
+                product *= factor
+            assert product <= 32
+            assert factors[2] == 1  # reduction loop never unrolled
+
+    def test_proposal_cost_prefers_full_parallelism(self, listing1_analysis):
+        _, bands, _ = listing1_analysis
+        compute_band = max(bands, key=lambda b: b.intensity)
+        low = proposal_cost(compute_band, [1, 1, 1], [])
+        high = proposal_cost(compute_band, [4, 8, 1], [])
+        assert high < low  # fewer iterations sorts first
+
+
+class TestTable5And6:
+    def test_iaca_unroll_factors(self):
+        result = compile_listing1()
+        factors = {
+            result.parallelization.intensities[k]: v
+            for k, v in result.parallelization.unroll_factors.items()
+        }
+        assert factors[4096] == [4, 8, 1]
+        assert factors[512] == [4, 1]
+        assert factors[256] == [1, 2]
+        assert result.misalignments == 0
+
+    def test_ia_only_unroll_factors(self):
+        result = compile_listing1(connection_aware=False)
+        factors = {
+            result.parallelization.intensities[k]: v
+            for k, v in result.parallelization.unroll_factors.items()
+        }
+        assert factors[4096] == [4, 8, 1]
+        assert factors[512] == [2, 2]
+        assert factors[256] == [1, 2]
+
+    def test_ca_only_unroll_factors(self):
+        result = compile_listing1(intensity_aware=False)
+        factors = {
+            result.parallelization.intensities[k]: v
+            for k, v in result.parallelization.unroll_factors.items()
+        }
+        assert factors[4096] == [4, 8, 1]
+        assert factors[512] == [8, 4]
+        assert factors[256] == [4, 8]
+
+    def test_naive_unroll_factors(self):
+        result = compile_listing1(intensity_aware=False, connection_aware=False)
+        factors = {
+            result.parallelization.intensities[k]: v
+            for k, v in result.parallelization.unroll_factors.items()
+        }
+        assert factors[4096] == [4, 8, 1]
+        assert factors[512] == [4, 8]
+        assert factors[256] == [4, 8]
+
+    def test_table6_bank_counts_iaca(self):
+        result = compile_listing1()
+        banks = {
+            b.result().name_hint: b.partition.banks
+            for s in result.schedules
+            for b in s.buffers
+        }
+        assert banks["A"] == 8
+        assert banks["B"] == 8
+
+    def test_table6_bank_counts_increase_without_awareness(self):
+        banks_by_mode = {}
+        for mode, overrides in {
+            "ia+ca": {},
+            "ia": {"connection_aware": False},
+            "ca": {"intensity_aware": False},
+            "naive": {"intensity_aware": False, "connection_aware": False},
+        }.items():
+            result = compile_listing1(**overrides)
+            banks_by_mode[mode] = sum(
+                b.partition.banks for s in result.schedules for b in s.buffers
+            )
+        assert banks_by_mode["ia+ca"] <= banks_by_mode["ia"]
+        assert banks_by_mode["ia"] <= banks_by_mode["ca"]
+        assert banks_by_mode["ca"] <= banks_by_mode["naive"]
+        # The paper reports an 8x margin on arrays A and B for this example.
+        assert banks_by_mode["naive"] >= 4 * banks_by_mode["ia+ca"]
+
+    def test_misalignment_counter(self):
+        result = compile_listing1(connection_aware=False)
+        # IA-only factors happen to stay aligned on this small example or not;
+        # the counter must simply be consistent and non-negative.
+        assert result.misalignments >= 0
+        schedule = result.schedules[0]
+        assert count_misalignments(schedule) == result.misalignments
+
+    def test_pipelining_applied_to_innermost_loops(self):
+        result = compile_listing1()
+        for schedule in result.schedules:
+            bands = collect_band_infos(schedule)
+            for band in bands:
+                innermost = band.band[-1]
+                assert any(
+                    loop.is_pipelined
+                    for loop in innermost.walk()
+                    if loop.name == "affine.for"
+                )
+
+    def test_parallelization_result_is_reproducible(self):
+        first = compile_listing1()
+        second = compile_listing1()
+        assert first.parallelization.unroll_factors == second.parallelization.unroll_factors
+
+    def test_ir_remains_valid_after_parallelization(self):
+        result = compile_listing1()
+        assert verify(result.module) == []

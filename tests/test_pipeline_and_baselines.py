@@ -1,0 +1,256 @@
+"""End-to-end tests: the HIDA pipeline, the baselines, the HLS C++ emitter and
+the LeNet case study harness."""
+
+import pytest
+
+from repro import HidaCompiler, HidaOptions, compile_module, emit_hls_cpp
+from repro.baselines import (
+    ABLATION_MODES,
+    UnsupportedModelError,
+    compile_dnnbuilder_baseline,
+    compile_scalehls_baseline,
+    compile_vitis_baseline,
+    run_ablation_mode,
+    soff_throughput,
+)
+from repro.estimation import dsp_efficiency, get_platform
+from repro.evaluation import (
+    FACTOR_RANGES,
+    best_design,
+    evaluate_design_point,
+    exhaustive_search,
+    expert_design_point,
+    format_table,
+    pareto_frontier,
+)
+from repro.evaluation.lenet_case_study import LeNetDesignPoint
+from repro.frontend.cpp import build_kernel, build_listing1
+from repro.frontend.nn import build_model, layer_summary
+from repro.ir import verify
+
+
+# ---------------------------------------------------------------------------
+# End-to-end pipeline
+# ---------------------------------------------------------------------------
+
+
+class TestPipeline:
+    def test_listing1_compiles_and_verifies(self):
+        result = compile_module(
+            build_listing1(),
+            HidaOptions(platform="zu3eg", max_parallel_factor=32, tile_size=0, verify=True),
+        )
+        assert result.schedules
+        assert result.throughput > 0
+        assert verify(result.module) == []
+
+    def test_summary_keys(self):
+        result = compile_module(build_listing1(), HidaOptions(platform="zu3eg", tile_size=0))
+        summary = result.summary()
+        for key in ("throughput", "dsp", "bram", "lut", "interval_cycles", "num_nodes"):
+            assert key in summary
+
+    def test_single_band_kernel_estimated_without_schedule(self):
+        result = compile_module(build_kernel("symm"), HidaOptions(platform="zu3eg"))
+        assert result.schedules == []
+        assert result.throughput > 0
+
+    def test_dnn_compiles_quickly(self):
+        result = HidaCompiler().compile_model("lenet", max_parallel_factor=16)
+        assert result.compile_seconds < 30
+        assert result.throughput > 0
+
+    def test_larger_parallel_factor_not_slower(self):
+        small = HidaCompiler().compile_model("lenet", max_parallel_factor=4)
+        large = HidaCompiler().compile_model("lenet", max_parallel_factor=32)
+        assert large.throughput >= small.throughput * 0.99
+        assert large.estimate.resources.dsp >= small.estimate.resources.dsp
+
+    def test_dataflow_disabled_is_slower(self):
+        with_df = compile_module(
+            build_listing1(), HidaOptions(platform="zu3eg", tile_size=0)
+        )
+        without_df = compile_module(
+            build_listing1(), HidaOptions(platform="zu3eg", tile_size=0, enable_dataflow=False)
+        )
+        assert with_df.throughput >= without_df.throughput
+
+    def test_tiling_reduces_on_chip_memory_for_dnn(self):
+        tiled = HidaCompiler().compile_model("vgg16", max_parallel_factor=16, tile_size=16)
+        untiled = HidaCompiler().compile_model("vgg16", max_parallel_factor=16, tile_size=0)
+        assert tiled.estimate.resources.bram < untiled.estimate.resources.bram
+
+    def test_compiler_kernel_entry_point(self):
+        result = HidaCompiler(HidaOptions(platform="zu3eg")).compile_kernel("mvt")
+        assert result.throughput > 0
+
+    def test_stage_timings_recorded(self):
+        result = compile_module(build_listing1(), HidaOptions(platform="zu3eg", tile_size=0))
+        assert set(result.stage_seconds) >= {
+            "construct", "fusion", "bufferize", "structural", "dataflow-opt", "parallelize",
+        }
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+class TestBaselines:
+    def test_vitis_baseline_pipelines_only(self):
+        module = build_kernel("2mm")
+        estimate = compile_vitis_baseline(module, platform="zu3eg")
+        assert estimate.resources.dsp < 30  # no unrolling -> few multipliers
+        assert estimate.throughput > 0
+
+    def test_hida_beats_vitis_on_multi_loop_kernel(self):
+        hida = compile_module(build_kernel("2mm"), HidaOptions(platform="zu3eg", max_parallel_factor=16))
+        vitis = compile_vitis_baseline(build_kernel("2mm"), platform="zu3eg")
+        assert hida.throughput > vitis.throughput
+
+    def test_scalehls_keeps_everything_on_chip(self):
+        scalehls = compile_scalehls_baseline(build_model("lenet"), max_parallel_factor=8)
+        hida = HidaCompiler().compile_model("lenet", max_parallel_factor=8, tile_size=16)
+        assert scalehls.estimate.resources.bram > hida.estimate.resources.bram
+
+    def test_hida_beats_scalehls_on_dnn_at_equal_parallelism_budget(self):
+        scalehls = compile_scalehls_baseline(build_model("resnet18"), max_parallel_factor=16)
+        hida = HidaCompiler().compile_model("resnet18", max_parallel_factor=64)
+        # At a comparable DSP budget HIDA reaches higher throughput.
+        assert hida.estimate.resources.dsp <= scalehls.estimate.resources.dsp * 1.6
+        assert hida.throughput > scalehls.throughput
+
+    def test_dnnbuilder_supports_plain_cnns_only(self):
+        result = compile_dnnbuilder_baseline(build_model("vgg16"))
+        assert result.throughput > 0
+        assert 0 < result.dsp_efficiency <= 1.5
+        with pytest.raises(UnsupportedModelError):
+            compile_dnnbuilder_baseline(build_model("resnet18"))
+        with pytest.raises(UnsupportedModelError):
+            compile_dnnbuilder_baseline(build_model("mobilenet"))
+
+    def test_soff_reference_constants(self):
+        assert soff_throughput("2mm") == pytest.approx(30.67)
+        assert soff_throughput("seidel-2d") is None
+
+    def test_ablation_modes_registry(self):
+        assert set(ABLATION_MODES) == {"ia+ca", "ia", "ca", "naive"}
+        with pytest.raises(KeyError):
+            run_ablation_mode(build_listing1(), "bogus", 8)
+
+    def test_ablation_iaca_dominates_naive_resources(self):
+        outcomes = {
+            mode: run_ablation_mode(build_listing1(), mode, 32, platform="zu3eg", tile_size=0)
+            for mode in ("ia+ca", "naive")
+        }
+        assert outcomes["ia+ca"].dsp <= outcomes["naive"].dsp
+        assert outcomes["ia+ca"].bram <= outcomes["naive"].bram
+
+
+# ---------------------------------------------------------------------------
+# HLS C++ emitter
+# ---------------------------------------------------------------------------
+
+
+class TestEmitter:
+    def test_emits_dataflow_and_pipeline_pragmas(self):
+        result = compile_module(
+            build_listing1(), HidaOptions(platform="zu3eg", max_parallel_factor=32, tile_size=0)
+        )
+        code = emit_hls_cpp(result.module)
+        assert "#pragma HLS dataflow" in code
+        assert "#pragma HLS pipeline" in code
+        assert "#pragma HLS unroll factor=" in code
+        assert "#pragma HLS array_partition" in code
+        assert "void listing1(" in code
+
+    def test_emits_interfaces_for_external_arguments(self):
+        result = compile_module(build_kernel("atax"), HidaOptions(platform="zu3eg"))
+        code = emit_hls_cpp(result.module)
+        assert "#pragma HLS interface m_axi" in code
+
+    def test_plain_kernel_emission(self):
+        code = emit_hls_cpp(build_kernel("symm"))
+        assert "for (int" in code
+        assert code.count("{") == code.count("}")
+
+    def test_emission_is_deterministic(self):
+        module = build_kernel("bicg")
+        assert emit_hls_cpp(module) == emit_hls_cpp(module)
+
+
+# ---------------------------------------------------------------------------
+# LeNet case study (Table 2 / Figure 1)
+# ---------------------------------------------------------------------------
+
+
+class TestLeNetCaseStudy:
+    @pytest.fixture(scope="class")
+    def search_results(self):
+        return exhaustive_search()
+
+    def test_design_space_size_matches_paper(self, search_results):
+        expected = 2
+        for values in FACTOR_RANGES.values():
+            expected *= len(values)
+        assert len(search_results) == expected
+        assert expected > 2.3e4  # "more than 2.4e4 points" including both settings
+
+    def test_dataflow_designs_pareto_dominate(self, search_results):
+        dataflow_best = best_design(r for r in search_results if r.point.dataflow)
+        non_dataflow_best = best_design(r for r in search_results if not r.point.dataflow)
+        assert dataflow_best.throughput > non_dataflow_best.throughput
+
+    def test_many_dataflow_designs_are_dominated(self, search_results):
+        non_dataflow_best = best_design(r for r in search_results if not r.point.dataflow)
+        dominated = [
+            r
+            for r in search_results
+            if r.point.dataflow
+            and r.fits
+            and r.throughput < non_dataflow_best.throughput
+        ]
+        assert dominated  # "tons of dataflow designs dominated by non-dataflow"
+
+    def test_pareto_frontier_is_monotone(self, search_results):
+        frontier = pareto_frontier(r for r in search_results if r.point.dataflow)
+        throughputs = [r.throughput for r in frontier]
+        utilizations = [r.utilization for r in frontier]
+        assert throughputs == sorted(throughputs)
+        assert utilizations == sorted(utilizations)
+
+    def test_expert_design_is_feasible_and_good(self, search_results):
+        expert = evaluate_design_point(expert_design_point())
+        exhaustive_best = best_design(search_results)
+        assert expert.fits
+        assert expert.throughput >= 0.8 * exhaustive_best.throughput
+
+    def test_infeasible_points_are_flagged(self):
+        point = LeNetDesignPoint(20, 6, 16, 6, 8, 16, True)
+        evaluation = evaluate_design_point(point)
+        assert evaluation.utilization > 1.0
+        assert not evaluation.fits
+
+
+# ---------------------------------------------------------------------------
+# Reporting helpers and DSP-efficiency integration
+# ---------------------------------------------------------------------------
+
+
+class TestReportingAndMetrics:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-" in lines[2]
+
+    def test_hida_dsp_efficiency_in_sane_range(self):
+        module = build_model("vgg16")
+        macs = sum(row[3] for row in layer_summary(module))
+        result = HidaCompiler().compile_model("vgg16", max_parallel_factor=128)
+        platform = get_platform("vu9p-slr")
+        efficiency = dsp_efficiency(
+            result.throughput, macs, result.estimate.resources.dsp, platform.clock_hz
+        )
+        assert 0.05 < efficiency <= 1.5
