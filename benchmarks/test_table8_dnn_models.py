@@ -9,7 +9,7 @@ from conftest import fit_hida, fit_scalehls
 from repro.baselines import UnsupportedModelError, compile_dnnbuilder_baseline
 from repro.estimation import dsp_efficiency, geometric_mean, get_platform
 from repro.evaluation import format_ratio, format_table
-from repro.frontend.nn import build_model, layer_summary, model_names
+from repro.frontend.nn import build_model, layer_summary
 
 PLATFORM = "vu9p-slr"
 MODELS = ["resnet18", "mobilenet", "zfnet", "vgg16", "yolo", "mlp"]

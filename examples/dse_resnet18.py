@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Design-space exploration over ResNet-18 accelerator configurations.
+
+Instead of compiling one hand-picked configuration (see
+``resnet18_dataflow.py``), this example sweeps the HIDA option space —
+unroll-factor budget, external-memory tile size, fusion depth — across
+worker processes, caches every QoR result by content hash, and reports the
+Pareto frontier over (latency, DSP, BRAM).  Re-running the script is nearly
+instant: every point replays from the cache.
+
+Run with:  python examples/dse_resnet18.py [--workers N]
+"""
+
+import argparse
+
+from repro.dse import DesignPoint, DesignSpace, explore
+from repro.estimation import get_platform
+
+
+def build_resnet_space() -> DesignSpace:
+    """ResNet-18 on one VU9P SLR under a grid of optimization budgets."""
+    space = DesignSpace()
+    for factor in (16, 64, 128):
+        for tile in (0, 16, 32):
+            for top_k in (0, 2):
+                space.add(
+                    DesignPoint(
+                        workload_kind="model",
+                        workload="resnet18",
+                        platform="vu9p-slr",
+                        max_parallel_factor=factor,
+                        tile_size=tile,
+                        top_k_fusion=top_k,
+                    )
+                )
+    return space
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args()
+
+    space = build_resnet_space()
+    print(f"exploring {len(space)} ResNet-18 design points with {args.workers} workers")
+    result = explore(space, workers=args.workers)
+
+    print()
+    print(result.frontier_table())
+
+    platform = get_platform("vu9p-slr")
+    fitting = [r for r in result.frontier if r.get("fits")]
+    print()
+    print(
+        f"{result.num_points} points in {result.elapsed_seconds:.2f}s, "
+        f"{result.num_cached} from cache; "
+        f"{len(fitting)}/{len(result.frontier)} frontier designs fit {platform.name}"
+    )
+    best = result.best_by("throughput", minimize=False)
+    if best is not None:
+        summary = best["summary"]
+        print(
+            f"fastest design: {best['label']} — "
+            f"{summary['throughput']:.1f} images/s, "
+            f"{summary['dsp']:.0f} DSP, {summary['bram']:.0f} BRAM"
+        )
+
+
+if __name__ == "__main__":
+    main()

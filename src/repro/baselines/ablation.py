@@ -13,9 +13,8 @@ observes at large parallel factors).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict
 
-from ..estimation.platform import get_platform
 from ..hida.pipeline import CompileResult, HidaOptions, compile_module
 from ..ir.builtin import ModuleOp
 

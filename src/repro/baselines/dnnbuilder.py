@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
-from ..estimation.platform import Platform, get_platform
+from ..estimation.platform import get_platform
 from ..frontend.nn.tracer import layer_summary
 from ..ir.builtin import ModuleOp
 

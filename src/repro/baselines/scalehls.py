@@ -20,11 +20,10 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import List, Optional
 
 from ..dialects.memref import GetGlobalOp
-from ..estimation.platform import Platform, get_platform
-from ..estimation.qor import DesignEstimate, QoREstimator, ResourceUsage
+from ..estimation.platform import get_platform
+from ..estimation.qor import DesignEstimate, QoREstimator
 from ..hida.functional import construct_functional_dataflow, fuse_dataflow_tasks
 from ..hida.parallelize import (
     ParallelizationOptions,

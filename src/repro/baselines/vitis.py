@@ -11,10 +11,8 @@ tasks, or manage external memory tiling.  The baseline therefore:
 
 from __future__ import annotations
 
-import time
-from typing import Optional
 
-from ..estimation.platform import Platform, get_platform
+from ..estimation.platform import get_platform
 from ..estimation.qor import DesignEstimate, QoREstimator
 from ..ir.builtin import ModuleOp
 from ..transforms.loop_transforms import pipeline_innermost_loops

@@ -10,10 +10,10 @@ connection analyses of HIDA-OPT.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..ir.core import Block, Operation, Value, register_operation
-from ..ir.types import IndexType, MemRefType, Type
+from ..ir.types import IndexType, MemRefType
 from .affine_map import AffineMap
 
 __all__ = [

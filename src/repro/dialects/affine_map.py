@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "AffineExpr",

@@ -7,10 +7,10 @@ and the resource model maps them to DSP/LUT costs.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..ir.core import Operation, Value, register_operation
-from ..ir.types import FloatType, IntegerType, Type, i1
+from ..ir.types import Type, i1
 
 __all__ = [
     "BinaryOp",

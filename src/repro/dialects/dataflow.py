@@ -31,10 +31,10 @@ Module interface:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..ir.core import Block, Operation, Value, register_operation
-from ..ir.types import MemRefType, StreamType, TensorType, Type, i1
+from ..ir.types import MemRefType, StreamType, Type, i1
 from .hls import ArrayPartition
 
 __all__ = [

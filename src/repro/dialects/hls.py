@@ -14,7 +14,6 @@ import dataclasses
 from typing import Optional, Sequence, Tuple
 
 from ..ir.core import Operation, Value, register_operation
-from ..ir.types import MemRefType
 
 __all__ = [
     "PartitionKind",

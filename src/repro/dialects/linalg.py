@@ -9,8 +9,7 @@ into affine loop nests for the Structural dataflow.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..ir.core import Operation, Value, register_operation
 from ..ir.types import TensorType, Type, f32

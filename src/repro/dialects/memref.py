@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..ir.core import Operation, Value, register_operation
-from ..ir.types import MemRefType, Type
+from ..ir.types import MemRefType
 
 __all__ = [
     "AllocOp",

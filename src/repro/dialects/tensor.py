@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..ir.core import Operation, Value, register_operation
 from ..ir.types import MemRefType, TensorType, Type, f32

@@ -1,0 +1,40 @@
+"""repro.dse — parallel design-space exploration with QoR caching.
+
+The paper's value proposition is picking good dataflow and parallelization
+configurations out of an enormous space; this package turns the single-shot
+pipeline into that search engine:
+
+* :mod:`repro.dse.space` — design points and preset design spaces;
+* :mod:`repro.dse.cache` — persistent content-hash QoR cache;
+* :mod:`repro.dse.runner` — process-parallel exploration driver;
+* :mod:`repro.dse.pareto` — Pareto-frontier extraction over QoR records;
+* ``python -m repro.dse`` — the command-line sweep driver.
+"""
+
+from .cache import QoRCache, default_cache_dir
+from .pareto import DEFAULT_OBJECTIVES, objective_vector, pareto_frontier
+from .runner import evaluate_point, explore
+from .space import (
+    SPACE_PRESETS,
+    DesignPoint,
+    DesignSpace,
+    build_space,
+    dnn_suite,
+    polybench_suite,
+)
+
+__all__ = [
+    "QoRCache",
+    "default_cache_dir",
+    "DEFAULT_OBJECTIVES",
+    "objective_vector",
+    "pareto_frontier",
+    "evaluate_point",
+    "explore",
+    "SPACE_PRESETS",
+    "DesignPoint",
+    "DesignSpace",
+    "build_space",
+    "dnn_suite",
+    "polybench_suite",
+]

@@ -1,0 +1,160 @@
+"""Command-line design-space exploration driver.
+
+Examples::
+
+    python -m repro.dse --space small --workers 8
+    python -m repro.dse --space medium --suite dnn --platform pynq-z2
+    python -m repro.dse --space full --sample 64 --seed 7 --json sweep.json
+    python -m repro.dse --clear-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cache import QoRCache, default_cache_dir
+from .pareto import DEFAULT_OBJECTIVES, SUMMARY_METRICS
+from .runner import explore
+from .space import SPACE_PRESETS, build_space, dnn_suite, polybench_suite
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dse",
+        description="Explore HIDA design spaces in parallel with QoR caching.",
+    )
+    parser.add_argument(
+        "--space",
+        choices=sorted(SPACE_PRESETS),
+        default="small",
+        help="design-space preset (default: small)",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("polybench", "dnn"),
+        default="polybench",
+        help="workload suite to sweep (default: polybench)",
+    )
+    parser.add_argument(
+        "--platform",
+        action="append",
+        dest="platforms",
+        default=None,
+        metavar="NAME",
+        help="target platform(s); repeatable (default: zu3eg)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: 1)"
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seeded subsample of N points from the space (0 = all)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="sampling seed (default: 0)"
+    )
+    parser.add_argument(
+        "--objectives",
+        default=",".join(DEFAULT_OBJECTIVES),
+        help="comma-separated minimized summary metrics "
+        f"(default: {','.join(DEFAULT_OBJECTIVES)})",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"QoR cache directory (default: {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the QoR cache"
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true", help="clear the cache and exit"
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the full ExplorationResult as JSON to PATH",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print at most N frontier rows (0 = all)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.sample < 0:
+        parser.error(f"--sample must be non-negative (got {args.sample})")
+    if args.workers < 0:
+        parser.error(f"--workers must be non-negative (got {args.workers})")
+
+    if args.clear_cache:
+        cache = QoRCache(args.cache_dir)
+        removed = cache.clear()
+        print(f"cleared {removed} cached QoR entries from {cache.root}")
+        return 0
+
+    suite = polybench_suite() if args.suite == "polybench" else dnn_suite()
+    platforms = tuple(args.platforms) if args.platforms else ("zu3eg",)
+    space = build_space(args.space, suite=suite, platforms=platforms)
+    if args.sample:
+        space = space.sample(args.sample, seed=args.seed)
+    objectives = tuple(
+        name.strip() for name in args.objectives.split(",") if name.strip()
+    )
+    unknown = [name for name in objectives if name not in SUMMARY_METRICS]
+    if unknown or not objectives:
+        parser.error(
+            f"unknown objective(s) {', '.join(unknown) or '(none given)'}; "
+            f"choose from: {', '.join(SUMMARY_METRICS)}"
+        )
+
+    print(
+        f"exploring {len(space)} design points "
+        f"({args.space} space, {args.suite} suite, platforms: {', '.join(platforms)}) "
+        f"with {args.workers} worker(s), cache "
+        f"{'off' if args.no_cache else (args.cache_dir or str(default_cache_dir()))}"
+    )
+    result = explore(
+        space,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        objectives=objectives,
+    )
+
+    print()
+    print(result.frontier_table(max_rows=args.top))
+    stats = result.summary()
+    print()
+    print(
+        f"{result.num_points} points in {result.elapsed_seconds:.2f}s "
+        f"({result.points_per_second:.1f} points/s) — "
+        f"{result.num_cached} from cache, {int(stats['errors'])} errors"
+    )
+    if result.errors:
+        for record in result.errors[:3]:
+            first_line = str(record["error"]).strip().splitlines()[-1]
+            print(f"  error at {record.get('label', '?')}: {first_line}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"wrote {args.json}")
+
+    return 0 if not result.errors and result.frontier else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Persistent content-hash QoR cache.
+
+Design-space exploration revisits design points constantly — across reruns,
+across overlapping spaces, and across benchmark suites that share kernels.
+The cache keys each evaluated point by a SHA-256 over *content*, never
+object identity:
+
+* the input module's printed-IR fingerprint (what is compiled),
+* the full serialized option set (how it is compiled),
+* a schema version (so model changes invalidate stale entries).
+
+Entries are small JSON files stored in a two-level fan-out directory
+(``<root>/<key[:2]>/<key>.json``).  Writes go through a temp file plus
+atomic rename, so concurrent worker processes never observe torn entries
+and never need locks — at worst two workers compute the same point and one
+rename wins with an identical payload.
+
+The default location is ``~/.cache/repro/dse`` (override with the
+``REPRO_DSE_CACHE`` environment variable or the ``--cache-dir`` CLI flag).
+Eviction is size-capped LRU-by-mtime: when the entry count exceeds
+``max_entries`` the oldest-read entries are deleted down to the cap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["QoRCache", "default_cache_dir"]
+
+#: Cache schema version: bump when record layout or QoR semantics change.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_DSE_CACHE`` or ``~/.cache/repro/dse``."""
+    override = os.environ.get("REPRO_DSE_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "dse"
+
+
+class QoRCache:
+    """File-backed JSON store mapping content keys to QoR records."""
+
+    def __init__(
+        self, root: Optional[os.PathLike] = None, max_entries: int = 8192
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    # ---------------------------------------------------------------- paths
+    def _path(self, key: str) -> Path:
+        # Hash the whole key: filenames stay bounded and the two-level
+        # fan-out spreads uniformly (raw keys share long constant prefixes).
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # ----------------------------------------------------------------- api
+    def get(self, key: str) -> Optional[Dict]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if record.get("_cache_version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        try:
+            # Touch for LRU eviction ordering.
+            os.utime(path)
+        except OSError:
+            pass
+        self.hits += 1
+        return record.get("payload")
+
+    def put(self, key: str, payload: Dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"_cache_version": CACHE_VERSION, "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        # A full entry scan per put is O(n).  For real cache sizes, only pay
+        # it when this entry's fan-out bucket exceeds its share of the cap
+        # (keys hash uniformly, so a crowded bucket implies the whole cache
+        # is near the limit); tiny caps check every put so the bound is firm.
+        per_bucket_cap = self.max_entries // 256
+        if per_bucket_cap < 2:
+            self._evict_if_needed()
+            return
+        try:
+            bucket_size = sum(1 for _ in path.parent.glob("*.json"))
+        except OSError:
+            bucket_size = 0
+        if bucket_size > per_bucket_cap:
+            self._evict_if_needed()
+
+    # ------------------------------------------------------------- eviction
+    def _entries(self):
+        if not self.root.exists():
+            return []
+        return list(self.root.glob("*/*.json"))
+
+    def _evict_if_needed(self) -> None:
+        entries = self._entries()
+        if len(entries) <= self.max_entries:
+            return
+        # Concurrent workers evict too: entries can vanish between the glob
+        # and the stat, so treat every filesystem touch as best-effort.
+        stamped = []
+        for path in entries:
+            try:
+                stamped.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        stamped.sort(key=lambda item: item[0])
+        for _, stale in stamped[: len(stamped) - self.max_entries]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def __repr__(self) -> str:
+        return (
+            f"QoRCache({str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,78 @@
+"""Pareto-frontier extraction over QoR records.
+
+The exploration engine scores each design point with the analytical QoR
+model; a point is worth keeping only if no other point is at least as good
+on every objective and strictly better on one.  Objectives are *minimized*
+— latency (cycles) and the two scarcest FPGA resources, DSP and BRAM —
+matching how the paper trades throughput against the device budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "SUMMARY_METRICS",
+    "objective_vector",
+    "pareto_frontier",
+]
+
+#: Minimized objectives, read from a record's ``summary`` mapping.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = ("latency_cycles", "dsp", "bram")
+
+#: Every metric a QoR record's summary carries (see CompileResult.summary);
+#: used to reject typo'd objective names before a sweep silently scores 0.
+SUMMARY_METRICS: Tuple[str, ...] = (
+    "throughput",
+    "latency_cycles",
+    "interval_cycles",
+    "lut",
+    "ff",
+    "dsp",
+    "bram",
+    "max_utilization",
+    "compile_seconds",
+    "num_nodes",
+    "misalignments",
+)
+
+
+def objective_vector(
+    record: Dict, objectives: Sequence[str] = DEFAULT_OBJECTIVES
+) -> Tuple[float, ...]:
+    summary = record.get("summary", record)
+    return tuple(float(summary.get(name, 0.0)) for name in objectives)
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better somewhere."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_frontier(
+    records: Sequence[Dict], objectives: Sequence[str] = DEFAULT_OBJECTIVES
+) -> List[Dict]:
+    """Non-dominated subset of ``records``, in deterministic order.
+
+    The result is sorted by objective vector (then point key as tiebreak), so
+    two explorations that evaluate the same set of points — in any order,
+    with any worker count — produce byte-identical frontiers.  Duplicate
+    objective vectors keep one representative (smallest point key).
+    """
+    scored = [(objective_vector(r, objectives), r) for r in records]
+    frontier: List[Tuple[Tuple[float, ...], Dict]] = []
+    seen_vectors = set()
+    for vector, record in scored:
+        if any(_dominates(other, vector) for other, _ in scored):
+            continue
+        if vector in seen_vectors:
+            continue
+        seen_vectors.add(vector)
+        candidates = [
+            (vec, rec) for vec, rec in scored if vec == vector
+        ]
+        candidates.sort(key=lambda item: str(item[1].get("point_key", "")))
+        frontier.append(candidates[0])
+    frontier.sort(key=lambda item: (item[0], str(item[1].get("point_key", ""))))
+    return [record for _, record in frontier]

@@ -1,0 +1,240 @@
+"""The parallel design-space exploration engine.
+
+``explore`` fans a :class:`~repro.dse.space.DesignSpace` out across worker
+processes with :mod:`concurrent.futures`.  Each worker rebuilds its
+workload module from the picklable :class:`~repro.hida.pipeline.WorkloadSpec`
+(IR does not cross process boundaries), consults the content-hash
+:class:`~repro.dse.cache.QoRCache`, and only runs the full HIDA pipeline on
+a cache miss.  Results come back as plain JSON-safe record dicts, so the
+orchestrating process never unpickles IR either.
+
+Determinism: records are re-ordered to the input point order after the
+parallel map, and the Pareto extraction sorts by objective vector, so the
+frontier is identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..estimation.qor import QoREstimator
+from ..evaluation.reporting import ExplorationResult
+from ..hida.pipeline import HidaOptions, compile_module
+from ..ir.printer import fingerprint_op
+from .cache import QoRCache
+from .pareto import DEFAULT_OBJECTIVES, SUMMARY_METRICS, pareto_frontier
+from .space import DesignPoint, DesignSpace
+
+__all__ = ["evaluate_point", "explore"]
+
+#: Per-process memo of workload-module fingerprints.  Workloads rebuild
+#: deterministically from their spec, so the fingerprint is a pure function
+#: of the spec for the lifetime of a process; memoizing it lets cache hits
+#: skip the module build entirely.
+_WORKLOAD_FINGERPRINTS: Dict = {}
+
+
+def _record_for_point(point: DesignPoint) -> Dict:
+    return {
+        "point": point.to_dict(),
+        "point_key": point.key(),
+        "label": point.label(),
+        "workload": point.workload,
+    }
+
+
+def _point_cache_key(fingerprint: str, options: HidaOptions) -> str:
+    """Cache key of one evaluated point.
+
+    Includes the estimator's MODEL_VERSION so that bumping it (the
+    documented way to signal an analytical-model change) invalidates every
+    persisted QoR record, not just in-process estimator caches.
+    """
+    return (
+        f"point|m{QoREstimator.MODEL_VERSION}|{fingerprint}|{options.fingerprint()}"
+    )
+
+
+def evaluate_point(point: DesignPoint, cache_dir: Optional[str] = None) -> Dict:
+    """Evaluate one design point; safe to call in a worker process.
+
+    Builds the workload module, computes the content-hash cache key from the
+    *input* module fingerprint plus the full option fingerprint, and either
+    replays the cached QoR record or runs the compilation pipeline and
+    caches its outcome.  Never raises: failures come back as records with an
+    ``"error"`` field so one broken point cannot sink a whole sweep.
+    """
+    record = _record_for_point(point)
+    started = time.perf_counter()
+    try:
+        options = point.options()
+        spec = point.workload_spec()
+        module = None
+        fingerprint = _WORKLOAD_FINGERPRINTS.get(spec)
+        if fingerprint is None:
+            module = spec.build()
+            fingerprint = fingerprint_op(module)
+            _WORKLOAD_FINGERPRINTS[spec] = fingerprint
+        record["module_fingerprint"] = fingerprint
+        cache = QoRCache(cache_dir) if cache_dir else None
+        key = _point_cache_key(fingerprint, options)
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                record.update(cached)
+                record["cached"] = True
+                record["eval_seconds"] = time.perf_counter() - started
+                return record
+        if module is None:
+            module = spec.build()
+        result = compile_module(module, options)
+        payload = {
+            "summary": result.summary(),
+            "estimate": result.estimate.to_dict(),
+            "fits": result.platform.fits(result.estimate.resources.as_dict()),
+        }
+        if cache is not None:
+            cache.put(key, payload)
+        record.update(payload)
+        record["cached"] = False
+    except Exception:
+        record["error"] = traceback.format_exc(limit=8)
+        record["cached"] = False
+    record["eval_seconds"] = time.perf_counter() - started
+    return record
+
+
+def _replay_cached(point: DesignPoint, cache_dir: str) -> Optional[Dict]:
+    """Parent-side cache probe: a completed record on a hit, else None.
+
+    Probing before fan-out keeps fully-warm sweeps free of process-pool
+    startup — a cached point costs one (memoized) workload fingerprint and
+    one JSON read.
+    """
+    record = _record_for_point(point)
+    started = time.perf_counter()
+    try:
+        spec = point.workload_spec()
+        fingerprint = _WORKLOAD_FINGERPRINTS.get(spec)
+        if fingerprint is None:
+            fingerprint = fingerprint_op(spec.build())
+            _WORKLOAD_FINGERPRINTS[spec] = fingerprint
+        key = _point_cache_key(fingerprint, point.options())
+        cached = QoRCache(cache_dir).get(key)
+        if cached is None:
+            return None
+        record["module_fingerprint"] = fingerprint
+        record.update(cached)
+        record["cached"] = True
+        record["eval_seconds"] = time.perf_counter() - started
+        return record
+    except Exception:
+        # Any probe failure falls through to a full (worker) evaluation.
+        return None
+
+
+def _worker_init(src_path: Optional[str]) -> None:
+    """Make the in-tree package importable in spawned workers."""
+    if src_path and src_path not in sys.path:
+        sys.path.insert(0, src_path)
+
+
+def _repo_src_path() -> Optional[str]:
+    path = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+    return path if os.path.isdir(path) else None
+
+
+def explore(
+    space: Union[DesignSpace, Sequence[DesignPoint]],
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    chunksize: int = 4,
+    group_by_workload: bool = True,
+) -> ExplorationResult:
+    """Evaluate every point of ``space`` and extract the Pareto frontier.
+
+    ``workers <= 1`` runs serially in-process (easier profiling/debugging);
+    anything larger uses a :class:`ProcessPoolExecutor`.  With caching on
+    (the default) each evaluated point is persisted under ``cache_dir`` (or
+    the default cache root), making overlapping sweeps and re-runs nearly
+    free.
+
+    With ``group_by_workload`` (the default) the frontier is the union of
+    per-workload frontiers — latency trade-offs only make sense between
+    designs of the *same* computation; set it to False for a single global
+    frontier when sweeping one workload under many configurations.
+    """
+    points: List[DesignPoint] = list(space)
+    unknown = [name for name in objectives if name not in SUMMARY_METRICS]
+    if unknown or not list(objectives):
+        raise ValueError(
+            f"unknown objective(s) {unknown or '(none)'}; "
+            f"choose from {SUMMARY_METRICS}"
+        )
+    resolved_cache: Optional[str] = None
+    if use_cache:
+        resolved_cache = str(cache_dir) if cache_dir else str(QoRCache().root)
+
+    started = time.perf_counter()
+    records: List[Dict] = []
+    pending: List[DesignPoint] = []
+    if resolved_cache:
+        for point in points:
+            cached = _replay_cached(point, resolved_cache)
+            if cached is not None:
+                records.append(cached)
+            else:
+                pending.append(point)
+    else:
+        pending = points
+    if workers <= 1 or len(pending) <= 1:
+        records.extend(evaluate_point(point, resolved_cache) for point in pending)
+    elif pending:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(_repo_src_path(),),
+        ) as pool:
+            records.extend(
+                pool.map(
+                    evaluate_point,
+                    pending,
+                    [resolved_cache] * len(pending),
+                    chunksize=max(1, chunksize),
+                )
+            )
+    elapsed = time.perf_counter() - started
+
+    # ``pool.map`` already preserves order; re-sort defensively by the input
+    # point order so downstream consumers can rely on it.
+    order = {point.key(): index for index, point in enumerate(points)}
+    records.sort(key=lambda r: order.get(r.get("point_key"), len(order)))
+
+    errors = [r for r in records if "error" in r]
+    scored = [r for r in records if "error" not in r]
+    if group_by_workload:
+        groups: Dict[str, List[Dict]] = {}
+        for record in scored:
+            groups.setdefault(str(record.get("workload", "")), []).append(record)
+        frontier = []
+        for name in sorted(groups):
+            frontier.extend(pareto_frontier(groups[name], objectives))
+    else:
+        frontier = pareto_frontier(scored, objectives)
+    return ExplorationResult(
+        records=records,
+        frontier=frontier,
+        objectives=tuple(objectives),
+        workers=max(1, workers),
+        elapsed_seconds=elapsed,
+        cache_hits=sum(1 for r in records if r.get("cached")),
+        cache_misses=sum(1 for r in records if not r.get("cached")),
+        errors=errors,
+    )

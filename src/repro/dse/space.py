@@ -1,0 +1,206 @@
+"""Design points and design-space generation.
+
+A :class:`DesignPoint` is one fully-specified configuration of the HIDA
+pipeline applied to one workload: the workload recipe (kernel or model
+name), the target platform, and every optimization knob the paper explores
+— unroll-factor budget, external-memory tile size, how many of the
+profitable fusion patterns to apply, the pipeline II target, and the IA/CA
+parallelization switches.
+
+A :class:`DesignSpace` is an ordered, de-duplicated list of points.  The
+built-in presets (``small`` / ``medium`` / ``full``) take the cross product
+of per-axis values over a workload suite; spaces are always generated in a
+deterministic order, and :meth:`DesignSpace.sample` does seeded reservoir-free
+sampling so the same seed always yields the same subset — the property the
+determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..hida.pipeline import HidaOptions, WorkloadSpec
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "SPACE_PRESETS",
+    "build_space",
+    "polybench_suite",
+    "dnn_suite",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignPoint:
+    """One (workload, platform, optimization options) configuration."""
+
+    workload_kind: str
+    workload: str
+    batch: int = 1
+    platform: str = "zu3eg"
+    max_parallel_factor: int = 32
+    tile_size: int = 16
+    #: How many of the default fusion patterns to apply (0 disables fusion).
+    top_k_fusion: int = 2
+    target_ii: int = 1
+    enable_dataflow: bool = True
+    intensity_aware: bool = True
+    connection_aware: bool = True
+
+    # ------------------------------------------------------------ conversion
+    def workload_spec(self) -> WorkloadSpec:
+        return WorkloadSpec(kind=self.workload_kind, name=self.workload, batch=self.batch)
+
+    def options(self) -> HidaOptions:
+        from ..hida.functional import default_fusion_patterns
+
+        patterns = None
+        if self.top_k_fusion >= 0:
+            patterns = default_fusion_patterns()[: self.top_k_fusion]
+        return HidaOptions(
+            platform=self.platform,
+            max_parallel_factor=self.max_parallel_factor,
+            tile_size=self.tile_size,
+            fuse_tasks=self.top_k_fusion != 0,
+            target_ii=self.target_ii,
+            enable_dataflow=self.enable_dataflow,
+            intensity_aware=self.intensity_aware,
+            connection_aware=self.connection_aware,
+            fusion_patterns=patterns,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DesignPoint":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def key(self) -> str:
+        """Stable identity of the point (hash of the canonical JSON form)."""
+        text = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    def label(self) -> str:
+        return (
+            f"{self.workload}/{self.platform}"
+            f"/pf{self.max_parallel_factor}/t{self.tile_size}"
+            f"/f{self.top_k_fusion}/ii{self.target_ii}"
+        )
+
+
+class DesignSpace:
+    """An ordered collection of unique design points."""
+
+    def __init__(self, points: Iterable[DesignPoint] = ()) -> None:
+        self._points: List[DesignPoint] = []
+        self._seen = set()
+        for point in points:
+            self.add(point)
+
+    def add(self, point: DesignPoint) -> None:
+        key = point.key()
+        if key not in self._seen:
+            self._seen.add(key)
+            self._points.append(point)
+
+    @property
+    def points(self) -> List[DesignPoint]:
+        return list(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def sample(self, count: int, seed: int = 0) -> "DesignSpace":
+        """Deterministic seeded subsample preserving generation order."""
+        if count < 0:
+            raise ValueError("sample count must be non-negative")
+        if count >= len(self._points):
+            return DesignSpace(self._points)
+        rng = random.Random(seed)
+        chosen = sorted(rng.sample(range(len(self._points)), count))
+        return DesignSpace(self._points[i] for i in chosen)
+
+    def __repr__(self) -> str:
+        return f"DesignSpace({len(self)} points)"
+
+
+def polybench_suite() -> List[WorkloadSpec]:
+    from ..frontend.cpp import kernel_names
+
+    return [WorkloadSpec("kernel", name) for name in kernel_names()]
+
+
+def dnn_suite() -> List[WorkloadSpec]:
+    """The small end of the paper's DNN zoo (kept tractable for sweeps)."""
+    return [WorkloadSpec("model", name) for name in ("lenet", "mlp")]
+
+
+#: Per-axis values of each space preset.  Axes cross-multiply per workload.
+SPACE_PRESETS: Dict[str, Dict[str, Sequence]] = {
+    "small": {
+        "max_parallel_factor": (8, 32),
+        "tile_size": (0, 16),
+        "top_k_fusion": (2,),
+        "target_ii": (1,),
+    },
+    "medium": {
+        "max_parallel_factor": (8, 32, 128),
+        "tile_size": (0, 8, 32),
+        "top_k_fusion": (0, 2),
+        "target_ii": (1,),
+    },
+    "full": {
+        "max_parallel_factor": (4, 8, 32, 128, 256),
+        "tile_size": (0, 4, 8, 16, 32),
+        "top_k_fusion": (0, 1, 2),
+        "target_ii": (1, 2),
+    },
+}
+
+
+def build_space(
+    preset: str = "small",
+    suite: Optional[Sequence[WorkloadSpec]] = None,
+    platforms: Sequence[str] = ("zu3eg",),
+) -> DesignSpace:
+    """Cross product of a preset's axes over a workload suite."""
+    try:
+        axes = SPACE_PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown space preset {preset!r}; options: {sorted(SPACE_PRESETS)}"
+        ) from None
+    suite = list(suite) if suite is not None else polybench_suite()
+    space = DesignSpace()
+    for spec in suite:
+        for platform in platforms:
+            for factor, tile, top_k, ii in itertools.product(
+                axes["max_parallel_factor"],
+                axes["tile_size"],
+                axes["top_k_fusion"],
+                axes["target_ii"],
+            ):
+                space.add(
+                    DesignPoint(
+                        workload_kind=spec.kind,
+                        workload=spec.name,
+                        batch=spec.batch,
+                        platform=platform,
+                        max_parallel_factor=factor,
+                        tile_size=tile,
+                        top_k_fusion=top_k,
+                        target_ii=ii,
+                    )
+                )
+    return space

@@ -17,7 +17,7 @@ token flow) precisely to remove that back-pressure.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..dialects.dataflow import (
     BufferOp,
@@ -27,7 +27,6 @@ from ..dialects.dataflow import (
     get_consumers,
     get_producers,
 )
-from ..ir.core import Value
 
 __all__ = ["ChannelSpec", "simulate_dataflow", "simulate_schedule", "build_channels"]
 

@@ -3,10 +3,8 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Iterable
 
-from .platform import Platform
-from .qor import DesignEstimate
 
 __all__ = [
     "dsp_efficiency",

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..dialects.affine import (
     AffineForOp,
@@ -31,10 +31,10 @@ from ..dialects.affine import (
     AffineStoreOp,
     enclosing_loops,
 )
-from ..dialects.arith import is_compute_op, is_multiply_accumulate
-from ..dialects.dataflow import BufferOp, NodeOp, ScheduleOp, StreamOp
+from ..dialects.arith import is_compute_op
+from ..dialects.dataflow import BufferOp, NodeOp, ScheduleOp
 from ..dialects.hls import partition_of
-from ..dialects.memref import AllocOp, CopyOp, GetGlobalOp
+from ..dialects.memref import AllocOp
 from ..ir.core import Operation, Value
 from ..ir.types import MemRefType
 from ..transforms.array_partition import partition_factors_of_value
@@ -97,6 +97,15 @@ class ResourceUsage:
     def as_dict(self) -> Dict[str, float]:
         return {"lut": self.lut, "ff": self.ff, "dsp": self.dsp, "bram": self.bram}
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "ResourceUsage":
+        return cls(
+            lut=float(data.get("lut", 0.0)),
+            ff=float(data.get("ff", 0.0)),
+            dsp=float(data.get("dsp", 0.0)),
+            bram=float(data.get("bram", 0.0)),
+        )
+
     def __repr__(self) -> str:
         return (
             f"ResourceUsage(lut={self.lut:.0f}, ff={self.ff:.0f}, "
@@ -113,6 +122,25 @@ class NodeEstimate:
     interval: float
     resources: ResourceUsage
     intensity: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "latency": self.latency,
+            "interval": self.interval,
+            "resources": self.resources.as_dict(),
+            "intensity": self.intensity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NodeEstimate":
+        return cls(
+            label=str(data["label"]),
+            latency=float(data["latency"]),
+            interval=float(data["interval"]),
+            resources=ResourceUsage.from_dict(data.get("resources", {})),
+            intensity=int(data.get("intensity", 0)),
+        )
 
     def __repr__(self) -> str:
         return (
@@ -148,6 +176,34 @@ class DesignEstimate:
 
     def max_utilization(self, platform: Platform) -> float:
         return platform.max_utilization(self.resources.as_dict())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe serialization, the inverse of :meth:`from_dict`.
+
+        Used by the QoR cache: a cached estimate round-trips through JSON
+        with no loss (all fields are floats, bools and strings).
+        """
+        return {
+            "resources": self.resources.as_dict(),
+            "latency": self.latency,
+            "interval": self.interval,
+            "clock_mhz": self.clock_mhz,
+            "node_estimates": [n.to_dict() for n in self.node_estimates],
+            "dataflow": self.dataflow,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DesignEstimate":
+        return cls(
+            resources=ResourceUsage.from_dict(data.get("resources", {})),
+            latency=float(data["latency"]),
+            interval=float(data["interval"]),
+            clock_mhz=float(data["clock_mhz"]),
+            node_estimates=[
+                NodeEstimate.from_dict(n) for n in data.get("node_estimates", [])
+            ],
+            dataflow=bool(data.get("dataflow", True)),
+        )
 
     def __repr__(self) -> str:
         return (
@@ -442,10 +498,29 @@ def estimate_node(node: NodeOp, platform: Platform) -> NodeEstimate:
 
 
 class QoREstimator:
-    """Estimates QoR for schedules, nodes and plain loop functions."""
+    """Estimates QoR for schedules, nodes and plain loop functions.
 
-    def __init__(self, platform: Platform) -> None:
+    An optional ``cache`` (any object with dict-like ``get(key)`` /
+    ``put(key, value)`` over JSON records, e.g.
+    :class:`repro.dse.cache.QoRCache`) memoizes whole-schedule estimates by
+    the schedule's content fingerprint, so re-estimating an identical design
+    — the common case during design-space exploration — is a lookup instead
+    of a simulation.
+    """
+
+    #: Bump when the analytical model changes to invalidate persisted caches.
+    MODEL_VERSION = 1
+
+    def __init__(self, platform: Platform, cache=None) -> None:
         self.platform = platform
+        self.cache = cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _cache_key(self, kind: str, fingerprint: str, **params) -> str:
+        fields = [f"v{self.MODEL_VERSION}", kind, self.platform.name, fingerprint]
+        fields += [f"{k}={params[k]}" for k in sorted(params)]
+        return "|".join(fields)
 
     # ------------------------------------------------------------- schedules
     def estimate_schedule(
@@ -458,6 +533,19 @@ class QoREstimator:
         ping-pong buffers); otherwise nodes execute back-to-back.
         """
         from .dataflow_sim import simulate_schedule
+
+        key = None
+        if self.cache is not None:
+            from ..ir.printer import fingerprint_op
+
+            key = self._cache_key(
+                "schedule", fingerprint_op(schedule), dataflow=dataflow, frames=frames
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return DesignEstimate.from_dict(cached)
+            self.cache_misses += 1
 
         node_estimates = [estimate_node(node, self.platform) for node in schedule.nodes]
         resources = ResourceUsage()
@@ -477,7 +565,7 @@ class QoREstimator:
         else:
             interval = total_latency
             latency = total_latency
-        return DesignEstimate(
+        estimate = DesignEstimate(
             resources=resources,
             latency=latency,
             interval=interval,
@@ -485,6 +573,9 @@ class QoREstimator:
             node_estimates=node_estimates,
             dataflow=dataflow,
         )
+        if key is not None:
+            self.cache.put(key, estimate.to_dict())
+        return estimate
 
     # ----------------------------------------------------------- plain loops
     def estimate_function(self, func: Operation, dataflow: bool = False) -> DesignEstimate:
@@ -493,6 +584,16 @@ class QoREstimator:
         Used for the Vitis-HLS-only baseline and any design evaluated before
         Structural lowering: bands execute sequentially.
         """
+        key = None
+        if self.cache is not None:
+            from ..ir.printer import fingerprint_op
+
+            key = self._cache_key("function", fingerprint_op(func), dataflow=dataflow)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return DesignEstimate.from_dict(cached)
+            self.cache_misses += 1
         bands = loop_bands_of(func)
         # Also descend into tasks/dispatches if present.
         if not bands:
@@ -518,7 +619,7 @@ class QoREstimator:
             if isinstance(op, (AllocOp, BufferOp)):
                 resources = resources + estimate_buffer(op, self.platform)
         latency = max(latency, 1.0)
-        return DesignEstimate(
+        estimate = DesignEstimate(
             resources=resources,
             latency=latency,
             interval=latency,
@@ -526,3 +627,6 @@ class QoREstimator:
             node_estimates=node_estimates,
             dataflow=dataflow,
         )
+        if key is not None:
+            self.cache.put(key, estimate.to_dict())
+        return estimate

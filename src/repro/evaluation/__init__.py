@@ -12,7 +12,7 @@ from .lenet_case_study import (
     pareto_frontier,
     run_case_study,
 )
-from .reporting import format_ratio, format_table, print_table
+from .reporting import ExplorationResult, format_ratio, format_table, print_table
 
 __all__ = [
     "FACTOR_RANGES",
@@ -25,6 +25,7 @@ __all__ = [
     "expert_design_point",
     "pareto_frontier",
     "run_case_study",
+    "ExplorationResult",
     "format_ratio",
     "format_table",
     "print_table",

@@ -6,9 +6,16 @@ helpers keep the formatting in one place.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["format_table", "format_ratio", "print_table"]
+__all__ = [
+    "ExplorationResult",
+    "format_table",
+    "format_ratio",
+    "print_table",
+]
 
 
 def format_ratio(value: Optional[float]) -> str:
@@ -57,3 +64,113 @@ def print_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "
     print()
     print(format_table(headers, rows, title))
     print()
+
+
+@dataclasses.dataclass
+class ExplorationResult:
+    """Everything produced by one design-space exploration run.
+
+    ``records`` and ``frontier`` hold plain JSON-safe dicts (one per design
+    point) as produced by :mod:`repro.dse.runner`, so the result can be
+    archived as a CI artifact and diffed across runs without custom codecs.
+    """
+
+    records: List[Dict] = dataclasses.field(default_factory=list)
+    frontier: List[Dict] = dataclasses.field(default_factory=list)
+    objectives: Sequence[str] = ("latency_cycles", "dsp", "bram")
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    errors: List[Dict] = dataclasses.field(default_factory=list)
+
+    @property
+    def num_points(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_cached(self) -> int:
+        return sum(1 for record in self.records if record.get("cached"))
+
+    @property
+    def points_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.num_points / self.elapsed_seconds
+
+    def frontier_keys(self) -> List[str]:
+        """Stable identity of the frontier (for determinism checks)."""
+        return [str(record.get("point_key", "")) for record in self.frontier]
+
+    def best_by(self, metric: str, minimize: bool = True) -> Optional[Dict]:
+        if not self.records:
+            return None
+        chooser = min if minimize else max
+        return chooser(
+            self.records, key=lambda r: float(r.get("summary", {}).get(metric, 0.0))
+        )
+
+    # -------------------------------------------------------------- rendering
+    def frontier_table(self, max_rows: int = 0) -> str:
+        headers = ["design point", "latency", "dsp", "bram", "throughput/s", "cached"]
+        rows = []
+        frontier = self.frontier[:max_rows] if max_rows else self.frontier
+        for record in frontier:
+            summary = record.get("summary", {})
+            rows.append(
+                [
+                    record.get("label", record.get("point_key", "?")),
+                    summary.get("latency_cycles"),
+                    summary.get("dsp"),
+                    summary.get("bram"),
+                    summary.get("throughput"),
+                    "yes" if record.get("cached") else "no",
+                ]
+            )
+        title = (
+            f"Pareto frontier ({len(self.frontier)}/{self.num_points} points, "
+            f"objectives: {', '.join(self.objectives)})"
+        )
+        return format_table(headers, rows, title)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "points": float(self.num_points),
+            "frontier": float(len(self.frontier)),
+            "cached": float(self.num_cached),
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "errors": float(len(self.errors)),
+            "workers": float(self.workers),
+            "elapsed_seconds": self.elapsed_seconds,
+            "points_per_second": self.points_per_second,
+        }
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> Dict:
+        return {
+            "records": self.records,
+            "frontier": self.frontier,
+            "objectives": list(self.objectives),
+            "workers": self.workers,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "errors": self.errors,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExplorationResult":
+        return cls(
+            records=list(data.get("records", [])),
+            frontier=list(data.get("frontier", [])),
+            objectives=tuple(data.get("objectives", ("latency_cycles", "dsp", "bram"))),
+            workers=int(data.get("workers", 1)),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            errors=list(data.get("errors", [])),
+        )

@@ -23,24 +23,13 @@ import contextlib
 import dataclasses
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ...dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp, AffineYieldOp
+from ...dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
 from ...dialects.affine_map import AffineExpr, AffineMap, constant, dim
-from ...dialects.arith import (
-    AddFOp,
-    CmpOp,
-    DivFOp,
-    ExpOp,
-    MaxFOp,
-    MinFOp,
-    MulFOp,
-    SelectOp,
-    SqrtOp,
-    SubFOp,
-)
+from ...dialects.arith import AddFOp, DivFOp, ExpOp, MaxFOp, MinFOp, MulFOp, SqrtOp, SubFOp
 from ...ir.builder import Builder
 from ...ir.builtin import ConstantOp, FuncOp, ModuleOp, ReturnOp
-from ...ir.core import Operation, Value
-from ...ir.types import FloatType, MemRefType, Type, f32
+from ...ir.core import Value
+from ...ir.types import MemRefType, Type, f32
 
 __all__ = ["IndexExpr", "ScalarExpr", "KernelBuilder"]
 

@@ -16,7 +16,6 @@ from .module import (
     Add,
     AvgPool2d,
     BatchNorm2d,
-    Concat,
     Conv2d,
     DepthwiseConv2d,
     Flatten,

@@ -7,7 +7,6 @@ Plays the role Torch-MLIR plays in the paper: executing the model's
 
 from __future__ import annotations
 
-import contextlib
 import threading
 from typing import List, Optional, Sequence, Tuple
 

@@ -50,7 +50,14 @@ from .parallelize import (
     proposal_cost,
     sort_bands,
 )
-from .pipeline import CompileResult, HidaCompiler, HidaOptions, compile_module
+from .pipeline import (
+    CompileResult,
+    HidaCompiler,
+    HidaOptions,
+    WorkloadSpec,
+    compile_module,
+    compile_workload,
+)
 from .structural import (
     LowerToStructuralPass,
     analyze_memory_effects,
@@ -101,6 +108,8 @@ __all__ = [
     "HidaCompiler",
     "HidaOptions",
     "compile_module",
+    "compile_workload",
+    "WorkloadSpec",
     "LowerToStructuralPass",
     "analyze_memory_effects",
     "convert_allocs_to_buffers",

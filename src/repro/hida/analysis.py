@@ -27,9 +27,8 @@ from ..dialects.affine import (
     enclosing_loops,
 )
 from ..dialects.arith import is_compute_op, is_multiply_accumulate
-from ..dialects.dataflow import BufferOp, NodeOp, ScheduleOp
+from ..dialects.dataflow import NodeOp, ScheduleOp
 from ..ir.core import Block, Operation, Value
-from ..ir.types import MemRefType
 from ..transforms.loop_transforms import loop_bands_of
 
 __all__ = [

@@ -20,7 +20,7 @@ Two optimizations crucial for dataflow efficiency:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..dialects.dataflow import (
     BufferOp,
@@ -33,12 +33,11 @@ from ..dialects.dataflow import (
     get_consumers,
     get_node_users,
     get_producers,
-    is_external_buffer,
 )
 from ..dialects.memref import CopyOp
-from ..ir.builder import Builder, InsertionPoint
+from ..ir.builder import Builder
 from ..ir.builtin import ConstantOp, ModuleOp
-from ..ir.core import Operation, Value
+from ..ir.core import Value
 from ..ir.passes import AnalysisManager, Pass
 from ..ir.types import MemRefType, i1
 

@@ -14,14 +14,12 @@ create a new critical task, rebalancing the dataflow.
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..dialects import linalg
 from ..dialects.affine import AffineForOp
 from ..dialects.dataflow import DispatchOp, TaskOp, YieldOp
 from ..dialects.memref import AllocOp, GetGlobalOp
-from ..ir.builder import Builder, InsertionPoint
 from ..ir.builtin import ConstantOp, FuncOp, ModuleOp, ReturnOp
 from ..ir.core import Block, Operation, Value
 from ..ir.passes import AnalysisManager, Pass

@@ -23,13 +23,10 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dialects.affine import AffineForOp
-from ..dialects.dataflow import BufferOp, NodeOp, ScheduleOp
-from ..ir.core import Value
-from ..ir.types import MemRefType
+from ..dialects.dataflow import ScheduleOp
 from ..transforms.array_partition import partition_buffers_in
 from ..transforms.loop_transforms import pipeline_loop
 from .analysis import (
@@ -70,6 +67,10 @@ class ParallelizationOptions:
     max_proposals: int = 8192
     #: Pipeline innermost loops after unrolling.
     pipeline: bool = True
+    #: Target initiation interval requested for pipelined loops.  II > 1
+    #: trades throughput for resources (the scheduler can share operators),
+    #: which makes it a useful DSE axis on resource-constrained platforms.
+    target_ii: int = 1
 
     @classmethod
     def naive(cls, max_parallel_factor: int = 32) -> "ParallelizationOptions":
@@ -314,7 +315,7 @@ def parallelize_band(
             if not inner:
                 break
             current = inner[0]
-        pipeline_loop(current)
+        pipeline_loop(current, target_ii=options.target_ii)
     return list(best)
 
 

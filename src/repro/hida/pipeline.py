@@ -20,11 +20,13 @@ from the Vitis-HLS-style estimator, and pass timings.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import time
 from typing import Dict, List, Optional, Sequence
 
 from ..dialects import linalg
-from ..dialects.dataflow import NodeOp, ScheduleOp
+from ..dialects.dataflow import ScheduleOp
 from ..estimation.platform import Platform, get_platform
 from ..estimation.qor import DesignEstimate, QoREstimator
 from ..ir.builtin import ModuleOp
@@ -50,7 +52,14 @@ from .parallelize import (
 )
 from .structural import lower_to_structural_dataflow
 
-__all__ = ["HidaOptions", "CompileResult", "compile_module", "HidaCompiler"]
+__all__ = [
+    "HidaOptions",
+    "CompileResult",
+    "WorkloadSpec",
+    "compile_module",
+    "compile_workload",
+    "HidaCompiler",
+]
 
 
 @dataclasses.dataclass
@@ -74,6 +83,8 @@ class HidaOptions:
     #: Parallelization mode switches (IA / CA ablations of Figure 11).
     intensity_aware: bool = True
     connection_aware: bool = True
+    #: Target initiation interval for pipelined loops (DSE axis).
+    target_ii: int = 1
     #: On-chip buffer budget in bits used by tiling and path balancing.
     on_chip_bit_budget: int = 4 * 1024 * 1024 * 8
     #: Verify the IR after each major stage (slower, useful in tests).
@@ -85,7 +96,49 @@ class HidaOptions:
             max_parallel_factor=self.max_parallel_factor,
             intensity_aware=self.intensity_aware,
             connection_aware=self.connection_aware,
+            target_ii=self.target_ii,
         )
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict of every option, suitable for hashing and caching.
+
+        ``fusion_patterns`` is represented by the pattern class names: the
+        stock patterns are stateless, so the names identify the behaviour.
+        Custom pattern classes round-trip only if :meth:`from_dict` can find
+        them among :func:`default_fusion_patterns` (unknown names raise).
+        """
+        data = dataclasses.asdict(self)
+        if self.fusion_patterns is None:
+            data["fusion_patterns"] = None
+        else:
+            data["fusion_patterns"] = [
+                type(pattern).__name__ for pattern in self.fusion_patterns
+            ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HidaOptions":
+        from .functional import default_fusion_patterns
+
+        data = dict(data)
+        names = data.pop("fusion_patterns", None)
+        patterns = None
+        if names is not None:
+            by_name = {type(p).__name__: p for p in default_fusion_patterns()}
+            try:
+                patterns = [by_name[name] for name in names]
+            except KeyError as exc:
+                raise ValueError(f"unknown fusion pattern {exc.args[0]!r}") from exc
+        known = {f.name for f in dataclasses.fields(cls)}
+        options = cls(**{k: v for k, v in data.items() if k in known})
+        options.fusion_patterns = patterns
+        return options
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the full option set."""
+        text = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 @dataclasses.dataclass
@@ -132,6 +185,53 @@ class CompileResult:
             "num_nodes": sum(len(s.nodes) for s in self.schedules),
             "misalignments": float(self.misalignments),
         }
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """A picklable description of *what to compile*.
+
+    Design-space exploration fans compilations out to worker processes, and
+    IR modules do not pickle (they are densely linked object graphs).  A
+    workload spec carries only the recipe — frontend kind plus workload name
+    — and each worker rebuilds the module locally with :meth:`build`, which
+    is deterministic and cheap relative to the pipeline itself.
+    """
+
+    #: ``"kernel"`` (PolyBench C++ frontend) or ``"model"`` (nn frontend).
+    kind: str
+    #: Kernel or model name understood by the corresponding frontend.
+    name: str
+    #: Batch size (models only).
+    batch: int = 1
+
+    def build(self) -> ModuleOp:
+        if self.kind == "kernel":
+            from ..frontend.cpp import build_kernel
+
+            return build_kernel(self.name)
+        if self.kind == "model":
+            from ..frontend.nn import build_model
+
+            return build_model(self.name, batch=self.batch)
+        raise ValueError(f"unknown workload kind {self.kind!r}")
+
+    def label(self) -> str:
+        if self.kind == "model" and self.batch != 1:
+            return f"{self.name}@b{self.batch}"
+        return self.name
+
+
+def compile_workload(
+    spec: WorkloadSpec, options: Optional[HidaOptions] = None
+) -> CompileResult:
+    """Build a workload from its spec and run the full HIDA pipeline.
+
+    This is the option-driven entry point used by DSE workers: both
+    arguments are picklable, so the call can cross a process boundary, and
+    the module is constructed inside the worker.
+    """
+    return compile_module(spec.build(), options)
 
 
 def _has_linalg_ops(module: ModuleOp) -> bool:
@@ -285,9 +385,7 @@ def _estimate_design(
         ]
         # The top-level schedule dominates; nested schedules already
         # contribute through their parent node's loops.
-        top = max(estimates, key=lambda e: e.latency)
-        resources = top.resources
-        return top
+        return max(estimates, key=lambda e: e.latency)
     # No schedule was formed (single-band kernels): estimate the function.
     func = module.functions[0] if module.functions else None
     if func is None:

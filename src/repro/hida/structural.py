@@ -16,7 +16,7 @@ Three procedures, matching the paper:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..dialects.affine import AffineLoadOp, AffineStoreOp
 from ..dialects.dataflow import (
@@ -28,10 +28,9 @@ from ..dialects.dataflow import (
     TaskOp,
     YieldOp,
 )
-from ..dialects.memref import AllocOp, CopyOp, GetGlobalOp
-from ..ir.builder import Builder, InsertionPoint
+from ..dialects.memref import AllocOp, CopyOp
 from ..ir.builtin import FuncOp, ModuleOp
-from ..ir.core import Block, Operation, Value
+from ..ir.core import Operation, Value
 from ..ir.passes import AnalysisManager, Pass
 from ..ir.types import MemRefType
 

@@ -28,7 +28,7 @@ from .passes import (
     RewritePattern,
     apply_patterns_greedily,
 )
-from .printer import IRPrinter, print_op
+from .printer import IRPrinter, fingerprint_op, print_op
 from .types import (
     FloatType,
     FunctionType,
@@ -89,6 +89,7 @@ __all__ = [
     "apply_patterns_greedily",
     # printing / verification
     "IRPrinter",
+    "fingerprint_op",
     "print_op",
     "VerificationError",
     "verify",

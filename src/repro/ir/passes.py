@@ -28,13 +28,33 @@ __all__ = [
 
 
 class AnalysisManager:
-    """Caches analysis results keyed by (analysis constructor, operation)."""
+    """Caches analysis results keyed by (analysis constructor, operation).
+
+    Operations are identified by their *content fingerprint* (see
+    :func:`~repro.ir.printer.fingerprint_op`), not ``id(op)``: CPython reuses
+    object ids after garbage collection, so an id-keyed cache can silently
+    serve a dead operation's analysis to an unrelated new op.  Fingerprint
+    keying also gives rewrite invalidation for free — any mutation of the op
+    (or anything nested in it) changes the key, forcing recomputation, while
+    :meth:`invalidate` still drops everything between passes.
+
+    Caveat: structurally identical ops share one slot, so analyses whose
+    results hold references to the analyzed op's ``Value``/``Operation``
+    objects (rather than structural facts) may receive a twin's objects;
+    such identity-bound analyses should bypass the manager.
+    """
 
     def __init__(self) -> None:
         self._cache: Dict[Any, Any] = {}
 
+    @staticmethod
+    def _op_key(op: Operation) -> Any:
+        from .printer import fingerprint_op
+
+        return (op.name, fingerprint_op(op))
+
     def get(self, analysis_ctor: Callable[[Operation], Any], op: Operation) -> Any:
-        key = (analysis_ctor, id(op))
+        key = (analysis_ctor, self._op_key(op))
         if key not in self._cache:
             self._cache[key] = analysis_ctor(op)
         return self._cache[key]

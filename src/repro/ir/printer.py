@@ -7,11 +7,12 @@ parser for it (programs are constructed through builders and frontends).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, List
 
-from .core import Block, Operation, Region, Value
+from .core import Operation, Region, Value
 
-__all__ = ["print_op", "IRPrinter"]
+__all__ = ["print_op", "fingerprint_op", "IRPrinter"]
 
 
 def _format_attr(value: Any) -> str:
@@ -100,3 +101,17 @@ class IRPrinter:
 def print_op(op: Operation) -> str:
     """Render an operation (and everything nested in it) as text."""
     return IRPrinter().print_op(op)
+
+
+def fingerprint_op(op: Operation) -> str:
+    """Deterministic content hash of an operation and everything nested in it.
+
+    The fingerprint is the SHA-256 of the printed form rendered by a fresh
+    :class:`IRPrinter`: SSA names are assigned in traversal order and
+    attributes print in sorted key order, so two structurally identical ops
+    fingerprint identically regardless of object identity, while any rewrite
+    that changes operations, attributes or structure changes the hash.  Used
+    as the stable cache key for analyses and QoR results.
+    """
+    text = IRPrinter().print_op(op)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

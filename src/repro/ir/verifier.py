@@ -14,7 +14,7 @@ Checks the invariants the rest of the compiler relies on:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional
 
 from .core import Block, BlockArgument, IRError, OpResult, Operation, Value
 

@@ -16,12 +16,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..dialects.affine import (
-    AffineForOp,
-    AffineLoadOp,
-    AffineStoreOp,
-    enclosing_loops,
-)
+from ..dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
 from ..dialects.dataflow import BufferOp, NodeOp
 from ..dialects.hls import ArrayPartition, PartitionKind, partition_of, set_partition
 from ..ir.core import Operation, Value

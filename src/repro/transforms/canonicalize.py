@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from typing import List, Set
 
 from ..dialects.dataflow import DispatchOp, TaskOp, YieldOp
-from ..ir.builtin import FuncOp, ModuleOp, ReturnOp
+from ..ir.builtin import FuncOp, ModuleOp
 from ..ir.core import Operation
 from ..ir.passes import AnalysisManager, Pass
 

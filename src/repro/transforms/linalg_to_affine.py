@@ -19,12 +19,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..dialects import linalg
 from ..dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
 from ..dialects.affine_map import AffineExpr, AffineMap, constant, dim
-from ..dialects.arith import AddFOp, DivFOp, ExpOp, MaxFOp, MulFOp
-from ..dialects.dataflow import TaskOp, YieldOp
+from ..dialects.arith import AddFOp, ExpOp, MaxFOp, MulFOp
+from ..dialects.dataflow import YieldOp
 from ..dialects.memref import AllocOp, GetGlobalOp
 from ..ir.builder import Builder, InsertionPoint
 from ..ir.builtin import ConstantOp, FuncOp, ModuleOp, ReturnOp
-from ..ir.core import Operation, Value
+from ..ir.core import Value
 from ..ir.passes import AnalysisManager, Pass
 from ..ir.types import FunctionType, MemRefType, TensorType
 

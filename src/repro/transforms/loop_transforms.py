@@ -8,21 +8,13 @@ unrolling is available for small factors and is exercised by the tests.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence
 
-from ..dialects.affine import (
-    AffineForOp,
-    AffineLoadOp,
-    AffineStoreOp,
-    AffineYieldOp,
-    enclosing_loops,
-    get_perfectly_nested_band,
-)
-from ..dialects.affine_map import AffineMap, constant, dim
+from ..dialects.affine import AffineForOp, AffineYieldOp, get_perfectly_nested_band
+from ..dialects.affine_map import AffineMap, dim
 from ..dialects.affine import AffineApplyOp
-from ..ir.builder import Builder, InsertionPoint
-from ..ir.core import Block, Operation, Value
+from ..ir.builder import Builder
+from ..ir.core import Operation, Value
 
 __all__ = [
     "annotate_unroll",

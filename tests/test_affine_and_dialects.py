@@ -1,7 +1,6 @@
 """Tests for affine maps/expressions and the basic dialects
 (arith, memref, scf, affine, hls directives)."""
 
-import math
 from fractions import Fraction
 
 import pytest
@@ -12,22 +11,13 @@ from repro.dialects.affine import (
     AffineForOp,
     AffineIfOp,
     AffineLoadOp,
-    AffineStoreOp,
-    AffineYieldOp,
     enclosing_loops,
     get_loop_band,
     get_perfectly_nested_band,
     loop_nest_depth,
     total_trip_count,
 )
-from repro.dialects.affine_map import (
-    AffineConstantExpr,
-    AffineDimExpr,
-    AffineMap,
-    constant,
-    dim,
-    symbol,
-)
+from repro.dialects.affine_map import AffineConstantExpr, AffineMap, constant, dim, symbol
 from repro.dialects.arith import (
     AddFOp,
     CmpOp,
@@ -39,8 +29,8 @@ from repro.dialects.arith import (
 )
 from repro.dialects.hls import ArrayPartition, PartitionKind, partition_of, set_partition
 from repro.dialects.memref import AllocOp, CopyOp, LoadOp, StoreOp, SubViewOp
-from repro.dialects.scf import ForOp, IfOp, YieldOp
-from repro.ir import Builder, ConstantOp, FuncOp, MemRefType, ModuleOp, f32, i32, index
+from repro.dialects.scf import ForOp, IfOp
+from repro.ir import Builder, ConstantOp, FuncOp, MemRefType, f32, i32, index
 
 
 # ---------------------------------------------------------------------------

@@ -20,18 +20,7 @@ from repro.dialects.dataflow import (
     is_external_buffer,
 )
 from repro.dialects.hls import ArrayPartition
-from repro.ir import (
-    Builder,
-    ConstantOp,
-    FuncOp,
-    MemRefType,
-    ModuleOp,
-    StreamType,
-    TensorType,
-    f32,
-    i1,
-    verify,
-)
+from repro.ir import Builder, ConstantOp, FuncOp, MemRefType, ModuleOp, TensorType, f32, i1, verify
 
 
 def make_buffer(shape=(8, 8), **kwargs):

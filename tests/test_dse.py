@@ -1,0 +1,223 @@
+"""Tests of the design-space exploration subsystem.
+
+Covers space generation, Pareto extraction, the content-hash QoR cache, and
+— most importantly — determinism: the same space must yield byte-identical
+frontiers for any worker count and on warm-cache replays.
+"""
+
+import json
+
+import pytest
+
+from repro.dse import (
+    DesignPoint,
+    DesignSpace,
+    QoRCache,
+    build_space,
+    evaluate_point,
+    explore,
+    pareto_frontier,
+    polybench_suite,
+)
+from repro.estimation import DesignEstimate
+from repro.hida import HidaOptions, WorkloadSpec, compile_workload
+from repro.ir import fingerprint_op
+
+
+def tiny_space(kernels=("atax", "mvt"), factors=(8, 32), tiles=(0, 16)):
+    space = DesignSpace()
+    for kernel in kernels:
+        for factor in factors:
+            for tile in tiles:
+                space.add(
+                    DesignPoint(
+                        workload_kind="kernel",
+                        workload=kernel,
+                        max_parallel_factor=factor,
+                        tile_size=tile,
+                    )
+                )
+    return space
+
+
+# ---------------------------------------------------------------- the space
+def test_build_space_presets_and_dedup():
+    space = build_space("small", suite=polybench_suite()[:3])
+    assert len(space) == 3 * 4  # 2 factors x 2 tiles per kernel
+    # Adding an existing point is a no-op.
+    before = len(space)
+    space.add(space.points[0])
+    assert len(space) == before
+    with pytest.raises(ValueError):
+        build_space("gigantic")
+
+
+def test_space_sampling_is_seeded_and_deterministic():
+    space = build_space("medium", suite=polybench_suite()[:4])
+    a = space.sample(10, seed=3)
+    b = space.sample(10, seed=3)
+    c = space.sample(10, seed=4)
+    assert [p.key() for p in a] == [p.key() for p in b]
+    assert [p.key() for p in a] != [p.key() for p in c]
+    assert len(a) == 10
+
+
+def test_design_point_roundtrip_and_options():
+    point = DesignPoint(
+        workload_kind="kernel",
+        workload="2mm",
+        max_parallel_factor=64,
+        tile_size=8,
+        top_k_fusion=1,
+        target_ii=2,
+    )
+    again = DesignPoint.from_dict(json.loads(json.dumps(point.to_dict())))
+    assert again == point and again.key() == point.key()
+    options = point.options()
+    assert options.max_parallel_factor == 64
+    assert options.target_ii == 2
+    assert len(options.fusion_patterns) == 1
+    no_fusion = DesignPoint(workload_kind="kernel", workload="2mm", top_k_fusion=0)
+    assert no_fusion.options().fuse_tasks is False
+
+
+def test_hida_options_serialization_roundtrip():
+    options = HidaOptions(platform="zu3eg", tile_size=4, target_ii=2)
+    restored = HidaOptions.from_dict(options.to_dict())
+    assert restored == options
+    assert restored.fingerprint() == options.fingerprint()
+    # Different options change the fingerprint.
+    assert HidaOptions(tile_size=8).fingerprint() != options.fingerprint()
+
+
+def test_workload_spec_builds_and_compiles():
+    spec = WorkloadSpec("kernel", "atax")
+    result = compile_workload(spec, HidaOptions(platform="zu3eg"))
+    assert result.throughput > 0
+    with pytest.raises(ValueError):
+        WorkloadSpec("netlist", "atax").build()
+
+
+# ------------------------------------------------------------------- pareto
+def test_pareto_frontier_drops_dominated_points():
+    records = [
+        {"point_key": "a", "summary": {"latency_cycles": 10, "dsp": 5, "bram": 1}},
+        {"point_key": "b", "summary": {"latency_cycles": 20, "dsp": 9, "bram": 2}},
+        {"point_key": "c", "summary": {"latency_cycles": 5, "dsp": 9, "bram": 1}},
+        {"point_key": "d", "summary": {"latency_cycles": 10, "dsp": 5, "bram": 1}},
+    ]
+    frontier = pareto_frontier(records)
+    keys = [r["point_key"] for r in frontier]
+    assert "b" not in keys  # dominated by a
+    assert "c" in keys and "a" in keys
+    assert keys.count("a") + keys.count("d") == 1  # duplicates collapse
+
+
+# -------------------------------------------------------------------- cache
+def test_qor_cache_roundtrip_and_clear(tmp_path):
+    cache = QoRCache(tmp_path / "qor")
+    assert cache.get("missing") is None
+    cache.put("some|key", {"latency": 42.0})
+    assert cache.get("some|key") == {"latency": 42.0}
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert cache.get("some|key") is None
+
+
+def test_qor_cache_eviction(tmp_path):
+    cache = QoRCache(tmp_path / "qor", max_entries=3)
+    for i in range(6):
+        cache.put(f"key{i}", {"i": i})
+    assert len(cache) <= 3
+
+
+def test_evaluate_point_uses_cache(tmp_path):
+    point = tiny_space().points[0]
+    cold = evaluate_point(point, str(tmp_path / "qor"))
+    warm = evaluate_point(point, str(tmp_path / "qor"))
+    assert cold["cached"] is False and warm["cached"] is True
+    assert warm["summary"] == cold["summary"]
+    assert warm["module_fingerprint"] == cold["module_fingerprint"]
+    # The cached estimate deserializes back into a DesignEstimate.
+    estimate = DesignEstimate.from_dict(warm["estimate"])
+    assert estimate.latency == pytest.approx(cold["summary"]["latency_cycles"])
+
+
+def test_evaluate_point_reports_errors_instead_of_raising(tmp_path):
+    bad = DesignPoint(workload_kind="kernel", workload="no-such-kernel")
+    record = evaluate_point(bad, str(tmp_path / "qor"))
+    assert "error" in record and "no-such-kernel" in record["error"]
+
+
+# ------------------------------------------------------------ determinism
+def test_explore_deterministic_across_worker_counts(tmp_path):
+    space = build_space("small", suite=polybench_suite()[:2]).sample(6, seed=11)
+    serial = explore(space, workers=1, cache_dir=str(tmp_path / "a"))
+    fanout = explore(space, workers=8, cache_dir=str(tmp_path / "b"))
+    assert serial.frontier_keys() == fanout.frontier_keys()
+    assert len(serial.frontier_keys()) > 0
+    def qor_only(summary):
+        return {k: v for k, v in summary.items() if k != "compile_seconds"}
+
+    for left, right in zip(serial.frontier, fanout.frontier):
+        assert qor_only(left["summary"]) == qor_only(right["summary"])
+    # Same seed, same space, fresh sampling: still the same frontier.
+    again = explore(
+        build_space("small", suite=polybench_suite()[:2]).sample(6, seed=11),
+        workers=1,
+        cache_dir=str(tmp_path / "a"),
+    )
+    assert again.frontier_keys() == serial.frontier_keys()
+    assert again.num_cached == again.num_points  # warm replay
+
+
+def test_explore_rejects_unknown_objectives():
+    with pytest.raises(ValueError, match="unknown objective"):
+        explore(tiny_space(kernels=("atax",)), objectives=("latency",), use_cache=False)
+
+
+def test_explore_warm_cache_replay(tmp_path):
+    space = tiny_space(kernels=("atax",))
+    cold = explore(space, workers=1, cache_dir=str(tmp_path / "qor"))
+    warm = explore(space, workers=1, cache_dir=str(tmp_path / "qor"))
+    assert cold.num_cached == 0
+    assert warm.num_cached == warm.num_points == len(space)
+    assert warm.frontier_keys() == cold.frontier_keys()
+    assert warm.summary()["errors"] == 0
+
+
+def test_exploration_result_serialization(tmp_path):
+    from repro.evaluation import ExplorationResult
+
+    result = explore(tiny_space(kernels=("mvt",)), workers=1, use_cache=False)
+    restored = ExplorationResult.from_dict(json.loads(result.to_json()))
+    assert restored.frontier_keys() == result.frontier_keys()
+    assert restored.num_points == result.num_points
+    table = result.frontier_table()
+    assert "Pareto frontier" in table and "mvt" in table
+
+
+# ------------------------------------------------- estimator cache plumbing
+def test_qor_estimator_cache_plumbing(tmp_path):
+    from repro.estimation import QoREstimator, get_platform
+    from repro.frontend.cpp import build_kernel
+    from repro.hida import compile_module
+
+    cache = QoRCache(tmp_path / "estimator")
+    result = compile_module(build_kernel("atax"))
+    schedule = result.schedules[0]
+    estimator = QoREstimator(get_platform("zu3eg"), cache=cache)
+    first = estimator.estimate_schedule(schedule)
+    second = estimator.estimate_schedule(schedule)
+    assert estimator.cache_misses == 1 and estimator.cache_hits == 1
+    assert second.to_dict() == first.to_dict()
+
+
+def test_module_fingerprint_stability():
+    from repro.frontend.cpp import build_kernel
+
+    first = fingerprint_op(build_kernel("2mm"))
+    second = fingerprint_op(build_kernel("2mm"))
+    other = fingerprint_op(build_kernel("3mm"))
+    assert first == second
+    assert first != other

@@ -18,7 +18,6 @@ from repro.estimation import (
     dsp_efficiency,
     estimate_band,
     estimate_buffer,
-    estimate_node,
     geometric_mean,
     get_platform,
     memory_reduction,
@@ -32,7 +31,7 @@ from repro.dialects.dataflow import BufferOp
 from repro.dialects.memref import AllocOp
 from repro.frontend.cpp import KernelBuilder, build_kernel, build_listing1
 from repro.hida import HidaOptions, compile_module
-from repro.ir import Builder, ConstantOp, MemRefType, f32, i8
+from repro.ir import ConstantOp, MemRefType, f32, i8
 from repro.transforms.loop_transforms import loop_bands_of, pipeline_loop
 
 

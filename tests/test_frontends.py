@@ -3,11 +3,10 @@ and the PyTorch-like NN tracing frontend (model zoo)."""
 
 import pytest
 
-from repro.dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
+from repro.dialects.affine import AffineForOp, AffineLoadOp
 from repro.dialects import linalg
 from repro.frontend.cpp import (
     MULTI_LOOP_KERNELS,
-    POLYBENCH_KERNELS,
     SINGLE_LOOP_KERNELS,
     IndexExpr,
     KernelBuilder,
@@ -16,13 +15,9 @@ from repro.frontend.cpp import (
     kernel_names,
 )
 from repro.frontend.nn import (
-    MLP,
     MODEL_INPUT_SHAPES,
-    LeNet,
-    ResNet18,
     Conv2d,
     Linear,
-    Module,
     ReLU,
     Sequential,
     Tensor,

@@ -16,7 +16,7 @@ from repro.dialects.dataflow import (
     get_producers,
 )
 from repro.dialects.memref import AllocOp, CopyOp
-from repro.frontend.cpp import KernelBuilder, build_kernel, build_listing1
+from repro.frontend.cpp import build_kernel, build_listing1
 from repro.frontend.nn import Sequential, Conv2d, ReLU, BatchNorm2d, build_model, trace
 from repro.hida import (
     analyze_memory_effects,
@@ -36,7 +36,7 @@ from repro.hida.functional import (
     InitializationFusionPattern,
     default_fusion_patterns,
 )
-from repro.ir import Builder, MemRefType, ModuleOp, f32, verify
+from repro.ir import Builder, MemRefType, f32, verify
 from repro.transforms import lower_linalg_to_affine
 
 

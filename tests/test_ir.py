@@ -14,7 +14,6 @@ from repro.ir import (
     IntegerType,
     MemRefType,
     ModuleOp,
-    Operation,
     Pass,
     PassManager,
     Region,
@@ -32,7 +31,7 @@ from repro.ir import (
     verify,
 )
 from repro.ir.passes import AnalysisManager, FunctionPass
-from repro.dialects.arith import AddFOp, MulFOp
+from repro.dialects.arith import AddFOp
 from repro.dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
 
 
@@ -443,3 +442,37 @@ class TestPasses:
         manager.invalidate()
         manager.get(analysis, module)
         assert len(calls) == 2
+
+    def test_analysis_manager_invalidates_on_rewrite(self):
+        calls = []
+
+        def analysis(op):
+            calls.append(op)
+            return len(calls)
+
+        manager = AnalysisManager()
+        module, func = build_simple_func()
+        assert manager.get(analysis, module) == 1
+        assert manager.get(analysis, module) == 1
+        # Rewriting the IR changes the module's content fingerprint, so the
+        # stale analysis must not be served.
+        func.set_attr("rewritten", True)
+        assert manager.get(analysis, module) == 2
+        assert manager.get(analysis, module) == 2
+
+    def test_analysis_manager_keys_by_content_not_identity(self):
+        # Two structurally identical but distinct ops share a fingerprint, so
+        # a dead op's id being recycled can never resurrect a stale result;
+        # distinct content always gets distinct cache slots.
+        calls = []
+
+        def analysis(op):
+            calls.append(op)
+            return len(calls)
+
+        manager = AnalysisManager()
+        module_a, _ = build_simple_func()
+        module_b, func_b = build_simple_func()
+        assert manager.get(analysis, module_a) == manager.get(analysis, module_b)
+        func_b.set_attr("divergent", True)
+        assert manager.get(analysis, module_b) == 2

@@ -3,7 +3,6 @@ reproducing Tables 4, 5 and 6 of the paper on the Listing-1 example."""
 
 import pytest
 
-from repro.dialects.dataflow import BufferOp
 from repro.frontend.cpp import build_listing1
 from repro.hida import (
     HidaOptions,
@@ -14,9 +13,7 @@ from repro.hida import (
     connection_table,
     count_misalignments,
     generate_parallel_factors,
-    is_parallel_loop,
     node_intensity,
-    parallelize_schedule,
     sort_bands,
 )
 from repro.hida.parallelize import candidate_unroll_factors, proposal_cost

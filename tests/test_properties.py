@@ -5,13 +5,10 @@ constraint system, the resource model's monotonicity, and the dataflow
 simulator's steady-state behaviour under randomized inputs.
 """
 
-import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dialects.affine import AffineForOp
 from repro.dialects.affine_map import AffineMap, dim
 from repro.dialects.arith import AddFOp
 from repro.dialects.hls import ArrayPartition, PartitionKind
