@@ -10,8 +10,8 @@ optimization is visible on a small example.
 Run with:  python examples/custom_kernel_ablation.py
 """
 
-from repro import HidaOptions, compile_module
-from repro.baselines import run_ablation_mode
+from repro import Compiler
+from repro.baselines import ablation_pipeline_spec, run_ablation_mode
 from repro.evaluation import format_table
 from repro.frontend.cpp import KernelBuilder
 
@@ -38,18 +38,16 @@ def build_blur_then_scale(height: int = 64, width: int = 64):
 
 
 def main() -> None:
-    # Dataflow on vs off.
+    # Dataflow on vs off — one pipeline spec per variant, differing only in
+    # the estimate stage's dataflow switch.
     rows = []
     for dataflow in (True, False):
-        result = compile_module(
-            build_blur_then_scale(),
-            HidaOptions(
-                platform="zu3eg",
-                max_parallel_factor=16,
-                tile_size=0,
-                enable_dataflow=dataflow,
-            ),
-        )
+        result = Compiler.from_spec(
+            "construct-dataflow,fuse-tasks,lower-linalg,lower-structural,"
+            "eliminate-multi-producers,balance,parallelize{factor=16},"
+            f"estimate{{dataflow={int(dataflow)}}}",
+            platform="zu3eg",
+        ).run(build_blur_then_scale())
         rows.append([
             "dataflow" if dataflow else "sequential",
             f"{result.throughput:.1f}",
@@ -63,6 +61,9 @@ def main() -> None:
     ))
 
     # Parallelization ablation (Figure 11 style, on the custom kernel).
+    # Every mode is a printed pipeline spec — show them before running.
+    for mode in ("ia+ca", "ia", "ca", "naive"):
+        print(f"  {mode:6s} = {ablation_pipeline_spec(mode, 16, tile_size=0)}")
     rows = []
     for mode in ("ia+ca", "ia", "ca", "naive"):
         outcome = run_ablation_mode(

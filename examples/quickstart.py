@@ -9,7 +9,7 @@ the QoR estimate, and the generated HLS C++.
 Run with:  python examples/quickstart.py
 """
 
-from repro import HidaOptions, compile_module, emit_hls_cpp
+from repro import Compiler, emit_hls_cpp
 from repro.frontend.cpp import build_listing1
 from repro.hida import collect_band_infos, collect_connections, connection_table
 from repro.ir import print_op
@@ -22,14 +22,16 @@ def main() -> None:
     print("=== Input affine-loop IR (excerpt) ===")
     print("\n".join(print_op(module).splitlines()[:20]))
 
-    # 2. Compile with HIDA.
-    options = HidaOptions(
+    # 2. Compile with HIDA through the textual-pipeline front door.  The
+    #    spec is the Figure-3 flow with task fusion and tiling dropped
+    #    (equivalently: HidaOptions(fuse_tasks=False, tile_size=0)).
+    compiler = Compiler.from_spec(
+        "construct-dataflow,lower-linalg,lower-structural,"
+        "eliminate-multi-producers,balance,parallelize{factor=32},estimate",
         platform="zu3eg",
-        max_parallel_factor=32,
-        tile_size=0,
-        fuse_tasks=False,
     )
-    result = compile_module(module, options)
+    print(f"\n=== Pipeline ===\n{compiler.spec_text()}  [{compiler.spec_hash()}]")
+    result = compiler.run(module)
 
     # 3. Inspect the dataflow design HIDA produced.
     print("\n=== Dataflow schedule ===")

@@ -27,19 +27,34 @@ Quickstart::
     compiler = HidaCompiler()
     result = compiler.compile_model("resnet18", max_parallel_factor=64)
     print(result.summary())
+
+Spec-first front door (see :mod:`repro.compiler`)::
+
+    from repro import Compiler
+
+    result = Compiler.from_spec(
+        "construct-dataflow,fuse-tasks,lower-linalg,lower-structural,"
+        "eliminate-multi-producers,balance,tile,parallelize{factor=64},estimate",
+        platform="vu9p-slr",
+    ).run(module)
 """
 
 from .backend import emit_hls_cpp
+from .compiler import DEFAULT_PIPELINE, Compiler, PipelineSpec, parse_pipeline
 from .estimation import Platform, QoREstimator, get_platform
 from .hida import CompileResult, HidaCompiler, HidaOptions, compile_module
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompileResult",
+    "Compiler",
+    "DEFAULT_PIPELINE",
     "HidaCompiler",
     "HidaOptions",
+    "PipelineSpec",
     "compile_module",
+    "parse_pipeline",
     "emit_hls_cpp",
     "Platform",
     "QoREstimator",

@@ -1,6 +1,11 @@
 """repro.baselines — comparison systems used in the paper's evaluation."""
 
-from .ablation import ABLATION_MODES, AblationOutcome, run_ablation_mode
+from .ablation import (
+    ABLATION_MODES,
+    AblationOutcome,
+    ablation_pipeline_spec,
+    run_ablation_mode,
+)
 from .dnnbuilder import (
     DNNBuilderResult,
     UnsupportedModelError,
@@ -13,6 +18,7 @@ from .vitis import compile_vitis_baseline
 __all__ = [
     "ABLATION_MODES",
     "AblationOutcome",
+    "ablation_pipeline_spec",
     "run_ablation_mode",
     "DNNBuilderResult",
     "UnsupportedModelError",

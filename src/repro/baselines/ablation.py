@@ -3,11 +3,15 @@
 Four configurations are compared: the full intensity- and connection-aware
 approach (IA+CA), intensity-only (IA), connection-only (CA) and the naive
 mode that applies the maximum parallel factor to every node with no
-alignment.  All four run through the identical HIDA pipeline; only the
-parallelization policy differs, plus a penalty model for the
-connection-unaware modes whose misaligned unroll factors force the compiler
-to emit fine-grained access control logic (the "flawed designs" the paper
-observes at large parallel factors).
+alignment.  Each variant is expressed as a *pipeline spec* — the identical
+Figure-3 stage sequence with only the ``parallelize`` stage reconfigured —
+so ablations are serializable, diffable one-liners instead of flag
+combinations (:func:`ablation_pipeline_spec` prints them; the spec
+round-trips through :func:`repro.compiler.parse_pipeline`).
+
+A penalty model applies to the connection-unaware modes whose misaligned
+unroll factors force the compiler to emit fine-grained access control logic
+(the "flawed designs" the paper observes at large parallel factors).
 """
 
 from __future__ import annotations
@@ -15,10 +19,16 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict
 
-from ..hida.pipeline import CompileResult, HidaOptions, compile_module
+from ..compiler import Compiler
+from ..hida.pipeline import CompileResult
 from ..ir.builtin import ModuleOp
 
-__all__ = ["ABLATION_MODES", "AblationOutcome", "run_ablation_mode"]
+__all__ = [
+    "ABLATION_MODES",
+    "AblationOutcome",
+    "ablation_pipeline_spec",
+    "run_ablation_mode",
+]
 
 #: Mode name -> (intensity_aware, connection_aware).
 ABLATION_MODES: Dict[str, tuple] = {
@@ -34,6 +44,39 @@ _MISALIGNMENT_DSP = 8.0
 _MISALIGNMENT_SLOWDOWN = 1.6
 
 
+def ablation_pipeline_spec(
+    mode: str, max_parallel_factor: int, tile_size: int = 16
+) -> str:
+    """The printed pipeline spec of one Figure-11 ablation variant.
+
+    Derived from the same options->spec bridge the default pipeline uses
+    (so the stage sequence can never drift from what ``compile_module``
+    runs), with the mode-defining ``ia``/``ca`` switches kept explicit in
+    the printed form even when they equal the stage defaults.
+    """
+    if mode not in ABLATION_MODES:
+        raise KeyError(f"unknown ablation mode {mode!r}; options: {list(ABLATION_MODES)}")
+    from ..compiler import spec_from_options
+    from ..hida.pipeline import HidaOptions
+
+    intensity_aware, connection_aware = ABLATION_MODES[mode]
+    spec = spec_from_options(
+        HidaOptions(
+            max_parallel_factor=max_parallel_factor,
+            tile_size=tile_size,
+            intensity_aware=intensity_aware,
+            connection_aware=connection_aware,
+        )
+    )
+    for stage in spec:
+        if stage.name == "parallelize":
+            stage.options.setdefault("ia", [str(int(intensity_aware))])
+            stage.options.setdefault("ca", [str(int(connection_aware))])
+            order = ("factor", "ia", "ca", "target-ii")
+            stage.options = {k: stage.options[k] for k in order if k in stage.options}
+    return spec.print()
+
+
 @dataclasses.dataclass
 class AblationOutcome:
     """One (mode, parallel factor) sample of the ablation study."""
@@ -46,6 +89,8 @@ class AblationOutcome:
     lut: float
     misalignments: int
     result: CompileResult
+    #: The printed pipeline spec this outcome was compiled with.
+    pipeline_spec: str = ""
 
     def summary(self) -> dict:
         return {
@@ -56,6 +101,7 @@ class AblationOutcome:
             "bram": self.bram,
             "lut": self.lut,
             "misalignments": self.misalignments,
+            "pipeline_spec": self.pipeline_spec,
         }
 
 
@@ -67,17 +113,10 @@ def run_ablation_mode(
     tile_size: int = 16,
 ) -> AblationOutcome:
     """Compile ``module`` under one ablation mode and apply misalignment costs."""
-    if mode not in ABLATION_MODES:
-        raise KeyError(f"unknown ablation mode {mode!r}; options: {list(ABLATION_MODES)}")
-    intensity_aware, connection_aware = ABLATION_MODES[mode]
-    options = HidaOptions(
-        platform=platform,
-        max_parallel_factor=max_parallel_factor,
-        tile_size=tile_size,
-        intensity_aware=intensity_aware,
-        connection_aware=connection_aware,
-    )
-    result = compile_module(module, options)
+    spec = ablation_pipeline_spec(mode, max_parallel_factor, tile_size)
+    _, connection_aware = ABLATION_MODES[mode]
+    compiler = Compiler.from_spec(spec, platform=platform)
+    result = compiler.run(module)
     resources = result.estimate.resources
     throughput = result.throughput
     dsp = resources.dsp
@@ -101,4 +140,5 @@ def run_ablation_mode(
         lut=lut,
         misalignments=misalignments,
         result=result,
+        pipeline_spec=compiler.spec_text(),
     )

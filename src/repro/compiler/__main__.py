@@ -1,0 +1,193 @@
+"""Command-line compiler front door.
+
+Examples::
+
+    python -m repro.compiler --print-default-pipeline
+    python -m repro.compiler --list-stages
+    python -m repro.compiler --workload kernel:atax --platform zu3eg
+    python -m repro.compiler --workload model:lenet@4 \\
+        --spec "construct-dataflow,lower-structural,parallelize{factor=8},estimate" \\
+        --timings --print-ir parallelize
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .driver import (
+    DEFAULT_PIPELINE,
+    Compiler,
+    DiagnosticsObserver,
+    SnapshotObserver,
+    TimingObserver,
+)
+from .spec import PipelineSpecError
+from .stages import stage_registry
+
+
+def _parse_workload(text: str):
+    """``kind:name[@batch]`` -> WorkloadSpec (e.g. kernel:atax, model:lenet@4)."""
+    from ..hida.pipeline import WorkloadSpec
+
+    kind, sep, name = text.partition(":")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"workload must look like 'kernel:atax' or 'model:lenet[@batch]', got {text!r}"
+        )
+    batch = 1
+    if "@" in name:
+        name, _, suffix = name.partition("@")
+        try:
+            batch = int(suffix)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid batch size {suffix!r} in workload {text!r}"
+            ) from None
+    return WorkloadSpec(kind=kind, name=name, batch=batch)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.compiler",
+        description="Compile a workload through a textual pipeline spec.",
+    )
+    parser.add_argument(
+        "--print-default-pipeline",
+        action="store_true",
+        help="print the canonical default pipeline spec and exit",
+    )
+    parser.add_argument(
+        "--list-stages",
+        action="store_true",
+        help="list registered stages with their options and exit",
+    )
+    parser.add_argument(
+        "--spec",
+        default=DEFAULT_PIPELINE,
+        help="textual pipeline spec (default: the full Figure-3 pipeline)",
+    )
+    parser.add_argument(
+        "--workload",
+        type=_parse_workload,
+        default=None,
+        metavar="KIND:NAME[@BATCH]",
+        help="what to compile, e.g. kernel:atax or model:lenet@4",
+    )
+    parser.add_argument(
+        "--platform", default="vu9p-slr", help="target platform (default: vu9p-slr)"
+    )
+    parser.add_argument(
+        "--verify", action="store_true", help="verify the IR after every stage"
+    )
+    parser.add_argument(
+        "--timings", action="store_true", help="print per-stage wall-clock timings"
+    )
+    parser.add_argument(
+        "--print-ir",
+        nargs="?",
+        const="*",
+        default=None,
+        metavar="STAGE",
+        help="print the IR after every stage (or only after STAGE)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the result summary as JSON to PATH",
+    )
+    return parser
+
+
+def _print_stage_list() -> None:
+    for name, cls in stage_registry().items():
+        doc = (cls.__doc__ or "").strip().splitlines()[0] if cls.__doc__ else ""
+        print(f"{name:28s} {doc}")
+        for decl in cls.option_decls:
+            default = decl.render(decl.default) if decl.default is not None else "-"
+            print(f"  {decl.name}={default:<12s} {decl.help}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.print_default_pipeline:
+        print(DEFAULT_PIPELINE)
+        return 0
+    if args.list_stages:
+        _print_stage_list()
+        return 0
+    if args.workload is None:
+        parser.error("--workload is required unless listing stages or the default spec")
+
+    timing = TimingObserver()
+    diagnostics = DiagnosticsObserver()
+    observers = [timing, diagnostics]
+    snapshots = None
+    if args.print_ir is not None:
+        if args.print_ir != "*" and args.print_ir not in stage_registry():
+            parser.error(
+                f"--print-ir: unknown stage {args.print_ir!r}; "
+                f"known stages: {', '.join(stage_registry())}"
+            )
+        snapshots = SnapshotObserver(None if args.print_ir == "*" else [args.print_ir])
+        observers.append(snapshots)
+
+    try:
+        compiler = Compiler.from_spec(
+            args.spec,
+            platform=args.platform,
+            verify_each=args.verify,
+            observers=observers,
+        )
+    except PipelineSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"pipeline: {compiler.spec_text()}")
+    print(f"platform: {args.platform}   spec-hash: {compiler.spec_hash()}")
+
+    try:
+        result = compiler.run(args.workload.build())
+    except PipelineSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if snapshots is not None:
+        for stage_name, text in snapshots.snapshots:
+            print(f"\n=== IR after {stage_name} ===")
+            print(text)
+    for diagnostic in diagnostics.diagnostics:
+        print(f"  {diagnostic}")
+    if args.timings:
+        print("\nper-stage timings:")
+        for name, seconds in timing.timings:
+            print(f"  {name:28s} {seconds * 1e3:8.2f} ms")
+
+    summary = result.summary()
+    print(f"\n{args.workload.label()} on {args.platform}:")
+    for key, value in summary.items():
+        rendered = f"{value:.2f}" if isinstance(value, float) else str(value)
+        print(f"  {key}: {rendered}")
+
+    if args.json:
+        payload = {
+            "workload": args.workload.label(),
+            "platform": args.platform,
+            "pipeline_spec": compiler.spec_text(),
+            "spec_hash": compiler.spec_hash(),
+            "summary": summary,
+            "estimate": result.estimate.to_dict(),
+            "stage_seconds": result.stage_seconds,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

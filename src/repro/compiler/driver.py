@@ -1,0 +1,364 @@
+"""The ``Compiler`` front door: run a pipeline spec with observer hooks.
+
+``Compiler.from_spec("construct-dataflow,...,estimate", platform="zu3eg")``
+builds a stage list from the registry; ``.run(module)`` threads a
+:class:`~repro.compiler.stages.CompilationState` through the stages and
+returns the same :class:`~repro.hida.pipeline.CompileResult` the legacy
+``compile_module`` produced, so every downstream consumer (baselines, DSE,
+benchmark harnesses, the HLS emitter) works unchanged.
+
+Observers (:class:`PipelineObserver`) receive per-stage begin/end events,
+per-stage IR snapshots (:class:`SnapshotObserver`), wall-clock timings
+(:class:`TimingObserver`) and structured diagnostics as they are emitted.
+
+The legacy ``HidaOptions`` surface maps losslessly onto pipeline specs via
+:func:`spec_from_options` / :func:`options_from_spec`; the canonical printed
+form of that mapping is what the QoR cache hashes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..estimation.platform import get_platform
+from ..ir.builtin import ModuleOp
+from ..ir.verifier import verify
+from .spec import PipelineSpec, PipelineSpecError, parse_pipeline
+from .stages import (
+    CompilationStage,
+    CompilationState,
+    Diagnostic,
+    build_stages,
+)
+
+__all__ = [
+    "Compiler",
+    "PipelineObserver",
+    "TimingObserver",
+    "SnapshotObserver",
+    "DiagnosticsObserver",
+    "DEFAULT_PIPELINE",
+    "default_pipeline_spec",
+    "spec_from_options",
+    "options_from_spec",
+]
+
+#: The canonical Figure-3 pipeline with every optimization enabled.
+DEFAULT_PIPELINE = (
+    "construct-dataflow,fuse-tasks,lower-linalg,lower-structural,"
+    "eliminate-multi-producers,balance,tile,parallelize,estimate"
+)
+
+
+def default_pipeline_spec() -> PipelineSpec:
+    return parse_pipeline(DEFAULT_PIPELINE)
+
+
+# ---------------------------------------------------------------------------
+# Observers
+# ---------------------------------------------------------------------------
+
+
+class PipelineObserver:
+    """Hook interface for watching a pipeline run; all methods are no-ops."""
+
+    def on_pipeline_start(self, compiler: "Compiler", module: ModuleOp) -> None:
+        pass
+
+    def on_stage_start(self, stage: CompilationStage, state: CompilationState) -> None:
+        pass
+
+    def on_stage_end(
+        self, stage: CompilationStage, state: CompilationState, seconds: float
+    ) -> None:
+        pass
+
+    def on_diagnostic(self, diagnostic: Diagnostic) -> None:
+        pass
+
+    def on_pipeline_end(self, result) -> None:
+        pass
+
+
+class TimingObserver(PipelineObserver):
+    """Collects per-stage wall-clock seconds keyed by *stage* name.
+
+    Unlike ``CompileResult.stage_seconds`` (which buckets by the legacy
+    timing keys), this keeps one entry per stage instance in run order —
+    useful when a spec runs the same stage twice.
+    """
+
+    def __init__(self) -> None:
+        self.timings: List[tuple] = []
+
+    def on_stage_end(self, stage, state, seconds: float) -> None:
+        self.timings.append((stage.name, seconds))
+
+    def by_stage(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for name, seconds in self.timings:
+            totals[name] = totals.get(name, 0.0) + seconds
+        return totals
+
+
+class SnapshotObserver(PipelineObserver):
+    """Captures a printed-IR snapshot of the module after every stage."""
+
+    def __init__(self, stages: Optional[Sequence[str]] = None) -> None:
+        #: Restrict snapshots to these stage names (None = every stage).
+        self.only = set(stages) if stages is not None else None
+        self.snapshots: List[tuple] = []
+
+    def on_stage_end(self, stage, state, seconds: float) -> None:
+        if self.only is not None and stage.name not in self.only:
+            return
+        from ..ir.printer import print_op
+
+        self.snapshots.append((stage.name, print_op(state.module)))
+
+
+class DiagnosticsObserver(PipelineObserver):
+    """Collects every structured diagnostic emitted during the run."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+
+    def on_diagnostic(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+
+# ---------------------------------------------------------------------------
+# The Compiler
+# ---------------------------------------------------------------------------
+
+
+class Compiler:
+    """A composed compilation pipeline bound to a target platform."""
+
+    def __init__(
+        self,
+        stages: Sequence[CompilationStage],
+        platform: str = "vu9p-slr",
+        verify_each: bool = False,
+        observers: Sequence[PipelineObserver] = (),
+    ) -> None:
+        self.stages: List[CompilationStage] = list(stages)
+        self.platform = platform
+        self.verify_each = verify_each
+        self.observers: List[PipelineObserver] = list(observers)
+        self._legacy_options = None
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Union[str, PipelineSpec],
+        platform: str = "vu9p-slr",
+        verify_each: bool = False,
+        observers: Sequence[PipelineObserver] = (),
+    ) -> "Compiler":
+        """Build a compiler from a textual (or parsed) pipeline spec."""
+        parsed = parse_pipeline(spec) if isinstance(spec, str) else spec
+        return cls(
+            build_stages(parsed),
+            platform=platform,
+            verify_each=verify_each,
+            observers=observers,
+        )
+
+    @classmethod
+    def from_options(
+        cls, options, observers: Sequence[PipelineObserver] = ()
+    ) -> "Compiler":
+        """Build a compiler equivalent to legacy ``compile_module(options)``."""
+        compiler = cls(
+            _stages_from_options(options),
+            platform=options.platform,
+            verify_each=options.verify,
+            observers=observers,
+        )
+        if options.fusion_patterns is not None:
+            # Hand the live pattern instances through so custom
+            # FusionPattern subclasses (which textual specs cannot name)
+            # keep working exactly as they did pre-refactor.
+            for stage in compiler.stages:
+                if stage.name == "fuse-tasks":
+                    stage._pattern_instances = list(options.fusion_patterns)
+        return compiler
+
+    # ----------------------------------------------------------------- spec
+    def spec(self) -> PipelineSpec:
+        """Canonical spec of this pipeline (defaults omitted, stable order)."""
+        return PipelineSpec([stage.to_spec() for stage in self.stages])
+
+    def spec_text(self) -> str:
+        return self.spec().print()
+
+    def spec_hash(self) -> str:
+        return self.spec().spec_hash()
+
+    def add_observer(self, observer: PipelineObserver) -> "Compiler":
+        self.observers.append(observer)
+        return self
+
+    def _emit_diagnostic(self, diagnostic: Diagnostic) -> None:
+        for observer in self.observers:
+            observer.on_diagnostic(diagnostic)
+
+    # ------------------------------------------------------------ execution
+    def run(self, module: ModuleOp):
+        """Run every stage over ``module`` (modified in place).
+
+        Returns a :class:`~repro.hida.pipeline.CompileResult`.  Raises
+        :class:`~repro.compiler.spec.PipelineSpecError` when the pipeline
+        produced no QoR estimate (i.e. it lacks an ``estimate`` stage);
+        partial-pipeline inspection is served by observers instead.
+        """
+        from ..hida.pipeline import CompileResult
+
+        state = CompilationState(module=module, platform=get_platform(self.platform))
+        state._sink = self._emit_diagnostic
+        stage_seconds: Dict[str, float] = {}
+        start = time.perf_counter()
+        for observer in self.observers:
+            observer.on_pipeline_start(self, module)
+        for stage in self.stages:
+            for observer in self.observers:
+                observer.on_stage_start(stage, state)
+            stage_start = time.perf_counter()
+            stage.run(state)
+            elapsed = time.perf_counter() - stage_start
+            key = stage.timing_key or stage.name
+            stage_seconds[key] = stage_seconds.get(key, 0.0) + elapsed
+            for observer in self.observers:
+                observer.on_stage_end(stage, state, elapsed)
+            if self.verify_each:
+                verify(module)
+        if state.estimate is None:
+            raise PipelineSpecError(
+                f"pipeline {self.spec_text()!r} produced no QoR estimate; "
+                "append an 'estimate' stage (observers can inspect partial runs)"
+            )
+        if self._legacy_options is None:
+            self._legacy_options = _options_from_stages(
+                self.stages, platform=self.platform, verify=self.verify_each
+            )
+        result = CompileResult(
+            module=module,
+            schedules=state.schedules,
+            estimate=state.estimate,
+            parallelization=state.parallelization,
+            balance_report=state.balance_report,
+            options=self._legacy_options,
+            compile_seconds=time.perf_counter() - start,
+            stage_seconds=stage_seconds,
+            misalignments=state.misalignments,
+        )
+        for observer in self.observers:
+            observer.on_pipeline_end(result)
+        return result
+
+    def run_workload(self, workload):
+        """Build a :class:`~repro.hida.pipeline.WorkloadSpec` and run it."""
+        return self.run(workload.build())
+
+    def __repr__(self) -> str:
+        return f"Compiler({self.spec_text()!r}, platform={self.platform!r})"
+
+
+# ---------------------------------------------------------------------------
+# HidaOptions <-> pipeline spec bridge
+# ---------------------------------------------------------------------------
+
+
+def _stages_from_options(options) -> List[CompilationStage]:
+    """Typed stage instances equivalent to legacy ``compile_module(options)``."""
+    from ..hida.functional import fusion_pattern_name
+    from .stages import get_stage_class
+
+    def stage(name: str, **values) -> CompilationStage:
+        return get_stage_class(name)(**values)
+
+    stages: List[CompilationStage] = [stage("construct-dataflow")]
+    if options.fuse_tasks:
+        patterns = None
+        if options.fusion_patterns is not None:
+            patterns = [fusion_pattern_name(p) for p in options.fusion_patterns]
+        stages.append(stage("fuse-tasks", patterns=patterns))
+    stages.append(stage("lower-linalg"))
+    stages.append(stage("lower-structural"))
+    if options.eliminate_multi_producers:
+        stages.append(stage("eliminate-multi-producers"))
+    if options.balance_paths:
+        stages.append(stage("balance", budget=options.on_chip_bit_budget))
+    if options.tile_size > 0:
+        stages.append(stage("tile", size=options.tile_size))
+    stages.append(
+        stage(
+            "parallelize",
+            factor=options.max_parallel_factor,
+            ia=options.intensity_aware,
+            ca=options.connection_aware,
+            target_ii=options.target_ii,
+        )
+    )
+    stages.append(stage("estimate", dataflow=options.enable_dataflow))
+    return stages
+
+
+def spec_from_options(options) -> PipelineSpec:
+    """The pipeline spec equivalent to legacy ``compile_module(options)``.
+
+    Boolean ablation flags map to stage presence (``fuse_tasks=False`` drops
+    the ``fuse-tasks`` stage), scalar knobs map to stage options, and the
+    result prints canonically (defaults omitted) — the form the QoR cache
+    hashes.
+    """
+    return PipelineSpec([s.to_spec() for s in _stages_from_options(options)])
+
+
+def _options_from_stages(
+    stages: Sequence[CompilationStage], platform: str, verify: bool
+):
+    from ..hida.pipeline import HidaOptions
+
+    present = {stage.name for stage in stages}
+    options = HidaOptions(
+        platform=platform,
+        verify=verify,
+        fuse_tasks="fuse-tasks" in present,
+        eliminate_multi_producers="eliminate-multi-producers" in present,
+        balance_paths="balance" in present,
+        tile_size=0,
+    )
+    for stage in stages:
+        if stage.name == "fuse-tasks":
+            options.fusion_patterns = stage.resolved_patterns()
+        elif stage.name == "balance":
+            options.on_chip_bit_budget = stage.budget
+        elif stage.name == "tile":
+            options.tile_size = stage.size
+        elif stage.name == "parallelize":
+            options.max_parallel_factor = stage.factor
+            options.intensity_aware = stage.ia
+            options.connection_aware = stage.ca
+            options.target_ii = stage.target_ii
+        elif stage.name == "estimate":
+            options.enable_dataflow = stage.dataflow
+    return options
+
+
+def options_from_spec(
+    spec: Union[str, PipelineSpec], platform: str = "vu9p-slr", verify: bool = False
+):
+    """Best-effort legacy ``HidaOptions`` view of a pipeline spec.
+
+    Stage presence/options fold back onto the boolean flags and scalar
+    knobs; later duplicates win.  Used to populate ``CompileResult.options``
+    so legacy consumers keep working; specs exercising compositions the flag
+    surface cannot express (reordered or repeated stages) still compile —
+    only this summary view is lossy.
+    """
+    parsed = parse_pipeline(spec) if isinstance(spec, str) else spec
+    return _options_from_stages(build_stages(parsed), platform, verify)

@@ -5,6 +5,8 @@ Examples::
     python -m repro.dse --space small --workers 8
     python -m repro.dse --space medium --suite dnn --platform pynq-z2
     python -m repro.dse --space full --sample 64 --seed 7 --json sweep.json
+    python -m repro.dse --space full --resume --json partial.json
+    python -m repro.dse --pipeline-spec "construct-dataflow,lower-structural,parallelize{factor=8},estimate"
     python -m repro.dse --clear-cache
 """
 
@@ -73,6 +75,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the QoR cache"
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="stream already-cached points into the result and skip the "
+        "rest (no compilation; pairs with --json to export partial sweeps)",
+    )
+    parser.add_argument(
+        "--pipeline-spec",
+        action="append",
+        dest="pipeline_specs",
+        default=None,
+        metavar="SPEC",
+        help="add a textual pipeline spec as an extra design axis; "
+        "repeatable (see python -m repro.compiler --list-stages)",
+    )
+    parser.add_argument(
         "--clear-cache", action="store_true", help="clear the cache and exit"
     )
     parser.add_argument(
@@ -105,9 +122,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"cleared {removed} cached QoR entries from {cache.root}")
         return 0
 
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the QoR cache; drop --no-cache")
+
     suite = polybench_suite() if args.suite == "polybench" else dnn_suite()
     platforms = tuple(args.platforms) if args.platforms else ("zu3eg",)
-    space = build_space(args.space, suite=suite, platforms=platforms)
+    pipeline_specs: tuple = (None,)
+    if args.pipeline_specs:
+        from ..compiler import Compiler, PipelineSpecError
+
+        for spec in args.pipeline_specs:
+            try:
+                Compiler.from_spec(spec)
+            except PipelineSpecError as error:
+                parser.error(f"bad --pipeline-spec: {error}")
+        pipeline_specs = (None, *args.pipeline_specs)
+    space = build_space(
+        args.space, suite=suite, platforms=platforms, pipeline_specs=pipeline_specs
+    )
     if args.sample:
         space = space.sample(args.sample, seed=args.seed)
     objectives = tuple(
@@ -132,6 +164,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         objectives=objectives,
+        resume=args.resume,
     )
 
     print()
@@ -142,6 +175,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{result.num_points} points in {result.elapsed_seconds:.2f}s "
         f"({result.points_per_second:.1f} points/s) — "
         f"{result.num_cached} from cache, {int(stats['errors'])} errors"
+        + (f", {result.skipped} skipped (--resume)" if result.skipped else "")
     )
     if result.errors:
         for record in result.errors[:3]:

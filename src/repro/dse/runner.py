@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..estimation.qor import QoREstimator
 from ..evaluation.reporting import ExplorationResult
-from ..hida.pipeline import HidaOptions, compile_module
 from ..ir.printer import fingerprint_op
 from .cache import QoRCache
 from .pareto import DEFAULT_OBJECTIVES, SUMMARY_METRICS, pareto_frontier
@@ -48,15 +47,19 @@ def _record_for_point(point: DesignPoint) -> Dict:
     }
 
 
-def _point_cache_key(fingerprint: str, options: HidaOptions) -> str:
+def _point_cache_key(fingerprint: str, platform: str, spec_text: str) -> str:
     """Cache key of one evaluated point.
 
+    Keyed by *what* is compiled (the input module's printed-IR fingerprint),
+    *where* it targets (the platform) and *how* it is compiled — the
+    canonical printed pipeline spec, so flag-driven points and textual-spec
+    points that denote the same stage sequence share cache entries.
     Includes the estimator's MODEL_VERSION so that bumping it (the
     documented way to signal an analytical-model change) invalidates every
     persisted QoR record, not just in-process estimator caches.
     """
     return (
-        f"point|m{QoREstimator.MODEL_VERSION}|{fingerprint}|{options.fingerprint()}"
+        f"point|m{QoREstimator.MODEL_VERSION}|{fingerprint}|{platform}|{spec_text}"
     )
 
 
@@ -72,7 +75,7 @@ def evaluate_point(point: DesignPoint, cache_dir: Optional[str] = None) -> Dict:
     record = _record_for_point(point)
     started = time.perf_counter()
     try:
-        options = point.options()
+        compiler = point.compiler()
         spec = point.workload_spec()
         module = None
         fingerprint = _WORKLOAD_FINGERPRINTS.get(spec)
@@ -81,8 +84,9 @@ def evaluate_point(point: DesignPoint, cache_dir: Optional[str] = None) -> Dict:
             fingerprint = fingerprint_op(module)
             _WORKLOAD_FINGERPRINTS[spec] = fingerprint
         record["module_fingerprint"] = fingerprint
+        record["pipeline_spec"] = compiler.spec_text()
         cache = QoRCache(cache_dir) if cache_dir else None
-        key = _point_cache_key(fingerprint, options)
+        key = _point_cache_key(fingerprint, point.platform, compiler.spec_text())
         if cache is not None:
             cached = cache.get(key)
             if cached is not None:
@@ -92,7 +96,7 @@ def evaluate_point(point: DesignPoint, cache_dir: Optional[str] = None) -> Dict:
                 return record
         if module is None:
             module = spec.build()
-        result = compile_module(module, options)
+        result = compiler.run(module)
         payload = {
             "summary": result.summary(),
             "estimate": result.estimate.to_dict(),
@@ -120,15 +124,17 @@ def _replay_cached(point: DesignPoint, cache_dir: str) -> Optional[Dict]:
     started = time.perf_counter()
     try:
         spec = point.workload_spec()
+        spec_text = point.canonical_spec()
         fingerprint = _WORKLOAD_FINGERPRINTS.get(spec)
         if fingerprint is None:
             fingerprint = fingerprint_op(spec.build())
             _WORKLOAD_FINGERPRINTS[spec] = fingerprint
-        key = _point_cache_key(fingerprint, point.options())
+        key = _point_cache_key(fingerprint, point.platform, spec_text)
         cached = QoRCache(cache_dir).get(key)
         if cached is None:
             return None
         record["module_fingerprint"] = fingerprint
+        record["pipeline_spec"] = spec_text
         record.update(cached)
         record["cached"] = True
         record["eval_seconds"] = time.perf_counter() - started
@@ -157,6 +163,7 @@ def explore(
     objectives: Sequence[str] = DEFAULT_OBJECTIVES,
     chunksize: int = 4,
     group_by_workload: bool = True,
+    resume: bool = False,
 ) -> ExplorationResult:
     """Evaluate every point of ``space`` and extract the Pareto frontier.
 
@@ -165,6 +172,12 @@ def explore(
     (the default) each evaluated point is persisted under ``cache_dir`` (or
     the default cache root), making overlapping sweeps and re-runs nearly
     free.
+
+    With ``resume`` the sweep never compiles: points already in the QoR
+    cache stream straight into the result and every uncached point is
+    *skipped* (counted in ``ExplorationResult.skipped``) — the way to turn
+    an interrupted sweep's partial cache into an output JSON without
+    recomputation.
 
     With ``group_by_workload`` (the default) the frontier is the union of
     per-workload frontiers — latency trade-offs only make sense between
@@ -178,6 +191,8 @@ def explore(
             f"unknown objective(s) {unknown or '(none)'}; "
             f"choose from {SUMMARY_METRICS}"
         )
+    if resume and not use_cache:
+        raise ValueError("resume=True requires the QoR cache (use_cache=True)")
     resolved_cache: Optional[str] = None
     if use_cache:
         resolved_cache = str(cache_dir) if cache_dir else str(QoRCache().root)
@@ -194,6 +209,10 @@ def explore(
                 pending.append(point)
     else:
         pending = points
+    skipped = 0
+    if resume:
+        skipped = len(pending)
+        pending = []
     if workers <= 1 or len(pending) <= 1:
         records.extend(evaluate_point(point, resolved_cache) for point in pending)
     elif pending:
@@ -237,4 +256,5 @@ def explore(
         cache_hits=sum(1 for r in records if r.get("cached")),
         cache_misses=sum(1 for r in records if not r.get("cached")),
         errors=errors,
+        skipped=skipped,
     )

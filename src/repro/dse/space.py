@@ -52,6 +52,12 @@ class DesignPoint:
     enable_dataflow: bool = True
     intensity_aware: bool = True
     connection_aware: bool = True
+    #: Explicit pipeline spec (design axis).  When set it overrides every
+    #: per-stage knob above except ``platform``: the point compiles through
+    #: ``Compiler.from_spec(pipeline_spec, platform=...)``, which makes
+    #: *pipeline composition itself* searchable (stage order, dropped
+    #: stages, per-stage options the flags cannot express).
+    pipeline_spec: Optional[str] = None
 
     # ------------------------------------------------------------ conversion
     def workload_spec(self) -> WorkloadSpec:
@@ -75,8 +81,29 @@ class DesignPoint:
             fusion_patterns=patterns,
         )
 
+    def canonical_spec(self) -> str:
+        """Canonical printed pipeline spec this point compiles through.
+
+        Explicit ``pipeline_spec`` points re-print through the parser (so
+        equivalent spellings collapse); flag-driven points print the spec
+        derived from their options.  The QoR cache keys on this string.
+        """
+        return self.compiler().spec_text()
+
+    def compiler(self):
+        """The :class:`~repro.compiler.driver.Compiler` for this point."""
+        from ..compiler import Compiler
+
+        if self.pipeline_spec is not None:
+            return Compiler.from_spec(self.pipeline_spec, platform=self.platform)
+        return Compiler.from_options(self.options())
+
     def to_dict(self) -> Dict[str, object]:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if self.pipeline_spec is None:
+            # Keep point keys of flag-driven spaces stable across versions.
+            data.pop("pipeline_spec")
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "DesignPoint":
@@ -89,6 +116,11 @@ class DesignPoint:
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
     def label(self) -> str:
+        if self.pipeline_spec is not None:
+            spec_tag = hashlib.sha256(
+                self.pipeline_spec.encode("utf-8")
+            ).hexdigest()[:6]
+            return f"{self.workload}/{self.platform}/spec-{spec_tag}"
         return (
             f"{self.workload}/{self.platform}"
             f"/pf{self.max_parallel_factor}/t{self.tile_size}"
@@ -173,8 +205,15 @@ def build_space(
     preset: str = "small",
     suite: Optional[Sequence[WorkloadSpec]] = None,
     platforms: Sequence[str] = ("zu3eg",),
+    pipeline_specs: Sequence[Optional[str]] = (None,),
 ) -> DesignSpace:
-    """Cross product of a preset's axes over a workload suite."""
+    """Cross product of a preset's axes over a workload suite.
+
+    ``pipeline_specs`` is the pipeline-composition axis: ``None`` entries
+    sweep the preset's per-stage knobs as usual, while textual spec entries
+    add one point per (workload, platform, spec) that compiles through that
+    exact stage sequence (the other knob axes do not apply to it).
+    """
     try:
         axes = SPACE_PRESETS[preset]
     except KeyError:
@@ -185,22 +224,34 @@ def build_space(
     space = DesignSpace()
     for spec in suite:
         for platform in platforms:
-            for factor, tile, top_k, ii in itertools.product(
-                axes["max_parallel_factor"],
-                axes["tile_size"],
-                axes["top_k_fusion"],
-                axes["target_ii"],
-            ):
-                space.add(
-                    DesignPoint(
-                        workload_kind=spec.kind,
-                        workload=spec.name,
-                        batch=spec.batch,
-                        platform=platform,
-                        max_parallel_factor=factor,
-                        tile_size=tile,
-                        top_k_fusion=top_k,
-                        target_ii=ii,
+            for pipeline_spec in pipeline_specs:
+                if pipeline_spec is not None:
+                    space.add(
+                        DesignPoint(
+                            workload_kind=spec.kind,
+                            workload=spec.name,
+                            batch=spec.batch,
+                            platform=platform,
+                            pipeline_spec=pipeline_spec,
+                        )
                     )
-                )
+                    continue
+                for factor, tile, top_k, ii in itertools.product(
+                    axes["max_parallel_factor"],
+                    axes["tile_size"],
+                    axes["top_k_fusion"],
+                    axes["target_ii"],
+                ):
+                    space.add(
+                        DesignPoint(
+                            workload_kind=spec.kind,
+                            workload=spec.name,
+                            batch=spec.batch,
+                            platform=platform,
+                            max_parallel_factor=factor,
+                            tile_size=tile,
+                            top_k_fusion=top_k,
+                            target_ii=ii,
+                        )
+                    )
     return space

@@ -83,6 +83,8 @@ class ExplorationResult:
     cache_hits: int = 0
     cache_misses: int = 0
     errors: List[Dict] = dataclasses.field(default_factory=list)
+    #: Points left unevaluated by a ``--resume`` replay (not in the cache).
+    skipped: int = 0
 
     @property
     def num_points(self) -> int:
@@ -141,6 +143,7 @@ class ExplorationResult:
             "cache_hits": float(self.cache_hits),
             "cache_misses": float(self.cache_misses),
             "errors": float(len(self.errors)),
+            "skipped": float(self.skipped),
             "workers": float(self.workers),
             "elapsed_seconds": self.elapsed_seconds,
             "points_per_second": self.points_per_second,
@@ -157,6 +160,7 @@ class ExplorationResult:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "errors": self.errors,
+            "skipped": self.skipped,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -173,4 +177,5 @@ class ExplorationResult:
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
             errors=list(data.get("errors", [])),
+            skipped=int(data.get("skipped", 0)),
         )

@@ -1,20 +1,27 @@
-"""The end-to-end HIDA compilation pipeline.
+"""The end-to-end HIDA compilation pipeline (legacy option-driven surface).
 
-``compile_module`` drives the full flow of Figure 3:
+The actual driver lives in :mod:`repro.compiler`: every Figure-3 phase is a
+registered :class:`~repro.compiler.stages.CompilationStage`, composed by a
+textual pipeline spec and executed by a
+:class:`~repro.compiler.driver.Compiler`.  This module keeps the historical
+entry points as thin wrappers over the default spec:
 
-1. Functional dataflow construction (Algorithm 1);
-2. Functional dataflow optimization — task fusion (Algorithm 2);
-3. linalg bufferization / lowering to affine loops (for PyTorch-style
-   inputs; C++ kernels are already at the loop level);
-4. Structural dataflow construction — dispatch/task to schedule/node
-   lowering with explicit buffers and memory effects;
-5. Structural dataflow optimization — multi-producer elimination and data
-   path balancing;
-6. Structural dataflow parallelization — IA+CA unroll factor selection,
-   loop pipelining and array partitioning.
+* :func:`compile_module` / :func:`compile_workload` run the spec derived
+  from a :class:`HidaOptions` (byte-identical :class:`CompileResult`\\ s to
+  the pre-refactor monolithic driver);
+* :class:`HidaOptions` remains the picklable option bag used by DSE and
+  the benchmark harnesses, and maps losslessly onto pipeline specs via
+  :meth:`HidaOptions.to_pipeline_spec`.
 
-The result bundles the transformed module, the schedules, the QoR estimate
-from the Vitis-HLS-style estimator, and pass timings.
+New code should prefer the spec-first front door::
+
+    from repro.compiler import Compiler
+
+    result = Compiler.from_spec(
+        "construct-dataflow,fuse-tasks,lower-linalg,lower-structural,"
+        "eliminate-multi-producers,balance,tile,parallelize,estimate",
+        platform="zu3eg",
+    ).run(module)
 """
 
 from __future__ import annotations
@@ -22,35 +29,15 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import time
 from typing import Dict, List, Optional, Sequence
 
-from ..dialects import linalg
 from ..dialects.dataflow import ScheduleOp
 from ..estimation.platform import Platform, get_platform
-from ..estimation.qor import DesignEstimate, QoREstimator
+from ..estimation.qor import DesignEstimate
 from ..ir.builtin import ModuleOp
-from ..ir.verifier import verify
-from ..transforms.canonicalize import eliminate_dead_code
-from ..transforms.linalg_to_affine import lower_linalg_to_affine
-from .dataflow_opt import (
-    BalanceReport,
-    balance_data_paths,
-    eliminate_multiple_producers,
-)
-from .functional import (
-    FusionPattern,
-    construct_functional_dataflow,
-    fuse_dataflow_tasks,
-)
-from .parallelize import (
-    ParallelizationOptions,
-    ParallelizationResult,
-    count_misalignments,
-    parallelize_function_bands,
-    parallelize_schedule,
-)
-from .structural import lower_to_structural_dataflow
+from .dataflow_opt import BalanceReport
+from .functional import FusionPattern
+from .parallelize import ParallelizationOptions, ParallelizationResult
 
 __all__ = [
     "HidaOptions",
@@ -64,7 +51,15 @@ __all__ = [
 
 @dataclasses.dataclass
 class HidaOptions:
-    """User-facing options of the HIDA pipeline."""
+    """User-facing options of the HIDA pipeline.
+
+    .. deprecated:: the boolean ablation switches (``fuse_tasks``,
+       ``balance_paths``, ``eliminate_multi_producers``, ``intensity_aware``,
+       ``connection_aware``) survive for the option-driven entry points, but
+       the first-class way to express an ablation is a pipeline spec with
+       the corresponding stage dropped or reconfigured — see
+       :meth:`to_pipeline_spec` and :mod:`repro.baselines.ablation`.
+    """
 
     platform: str = "vu9p-slr"
     max_parallel_factor: int = 32
@@ -99,6 +94,12 @@ class HidaOptions:
             target_ii=self.target_ii,
         )
 
+    def to_pipeline_spec(self) -> str:
+        """Canonical textual pipeline spec equivalent to these options."""
+        from ..compiler import spec_from_options
+
+        return spec_from_options(self).print()
+
     # ------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict of every option, suitable for hashing and caching.
@@ -119,17 +120,20 @@ class HidaOptions:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "HidaOptions":
-        from .functional import default_fusion_patterns
+        from .functional import fusion_patterns_by_name
 
         data = dict(data)
         names = data.pop("fusion_patterns", None)
         patterns = None
         if names is not None:
-            by_name = {type(p).__name__: p for p in default_fusion_patterns()}
-            try:
-                patterns = [by_name[name] for name in names]
-            except KeyError as exc:
-                raise ValueError(f"unknown fusion pattern {exc.args[0]!r}") from exc
+            by_name = fusion_patterns_by_name()
+            unknown = [name for name in names if name not in by_name]
+            if unknown:
+                raise ValueError(
+                    f"unknown fusion pattern(s) {', '.join(map(repr, unknown))}; "
+                    f"known patterns: {', '.join(sorted(by_name))}"
+                )
+            patterns = [by_name[name] for name in names]
         known = {f.name for f in dataclasses.fields(cls)}
         options = cls(**{k: v for k, v in data.items() if k in known})
         options.fusion_patterns = patterns
@@ -234,170 +238,44 @@ def compile_workload(
     return compile_module(spec.build(), options)
 
 
-def _has_linalg_ops(module: ModuleOp) -> bool:
-    return any(isinstance(op, linalg.LinalgOp) for op in module.walk())
-
-
-def _apply_tiling_hints(schedules: Sequence[ScheduleOp], options: HidaOptions) -> None:
-    """Record tiling decisions on nodes and spill oversized buffers off-chip.
-
-    HIDA uses loop tiling plus local tile buffers so that only small tiles of
-    intermediate results stay on-chip while the full arrays live in external
-    memory.  The reproduction records the tile size on each node (consumed by
-    the QoR model for burst/address-generation effects) and re-places buffers
-    that exceed the on-chip budget into DRAM, shrinking their on-chip
-    footprint to the tile working set.
-    """
-    if options.tile_size <= 0:
-        return
-    # A buffer larger than one tile working set (tile_size^2 elements per
-    # ping-pong stage, 8 bits assumed minimum) lives in external memory with
-    # an on-chip tile cache, mirroring the tile-load/compute/store sub-node
-    # structure; only small buffers stay fully on-chip.
-    for schedule in schedules:
-        for node in schedule.nodes:
-            node.set_attr("tile_size", options.tile_size)
-        per_buffer_budget = options.tile_size * options.tile_size * 8 * 64
-        for buffer in schedule.buffers:
-            bits = buffer.memref_type.bitwidth * buffer.depth
-            if bits > per_buffer_budget:
-                buffer.set_memory_kind("dram")
-                buffer.set_attr("tiled", True)
-                buffer.set_attr("tile_elements", options.tile_size * options.tile_size)
+#: Stage-timing buckets the pre-refactor monolithic driver always recorded,
+#: even for stages its option flags disabled.
+_LEGACY_STAGE_KEYS = (
+    "construct",
+    "fusion",
+    "bufferize",
+    "structural",
+    "dataflow-opt",
+    "parallelize",
+    "estimate",
+)
 
 
 def compile_module(module: ModuleOp, options: Optional[HidaOptions] = None) -> CompileResult:
-    """Run the full HIDA pipeline on ``module`` (modified in place)."""
-    options = options or HidaOptions()
-    platform = get_platform(options.platform)
-    estimator = QoREstimator(platform)
-    stage_seconds: Dict[str, float] = {}
-    start = time.perf_counter()
+    """Run the full HIDA pipeline on ``module`` (modified in place).
 
-    def stage(name: str):
-        stage_seconds[name] = time.perf_counter()
+    Thin wrapper over the spec-driven front door: the options map onto the
+    default pipeline spec (stages dropped or reconfigured per flag) and a
+    :class:`~repro.compiler.driver.Compiler` executes it.  Results are
+    identical to the pre-refactor monolithic driver, including the
+    ``stage_seconds`` keys: stages disabled by flags are backfilled as
+    zero-duration buckets, exactly as the old driver timed their skipped
+    bodies.
+    """
+    from ..compiler import Compiler
 
-    def stage_done(name: str):
-        stage_seconds[name] = time.perf_counter() - stage_seconds[name]
-
-    # 1. Functional dataflow construction.
-    stage("construct")
-    construct_functional_dataflow(module)
-    stage_done("construct")
-    if options.verify:
-        verify(module)
-
-    # 2. Functional dataflow optimization (task fusion).
-    stage("fusion")
-    if options.fuse_tasks:
-        fuse_dataflow_tasks(module, options.fusion_patterns)
-    stage_done("fusion")
-    if options.verify:
-        verify(module)
-
-    # 3. Lower tensor-level (linalg) programs to affine loops over buffers.
-    stage("bufferize")
-    if _has_linalg_ops(module):
-        lower_linalg_to_affine(module)
-        eliminate_dead_code(module)
-    stage_done("bufferize")
-    if options.verify:
-        verify(module)
-
-    # 4. Structural dataflow construction.
-    stage("structural")
-    schedules = lower_to_structural_dataflow(module)
-    stage_done("structural")
-    if options.verify:
-        verify(module)
-
-    # 5. Structural dataflow optimization.
-    stage("dataflow-opt")
-    balance_report = BalanceReport()
-    if options.eliminate_multi_producers:
-        for schedule in schedules:
-            eliminate_multiple_producers(schedule)
-    if options.balance_paths:
-        for schedule in schedules:
-            report = balance_data_paths(
-                schedule, on_chip_bit_budget=options.on_chip_bit_budget
-            )
-            balance_report.buffers_deepened += report.buffers_deepened
-            balance_report.copy_nodes_inserted += report.copy_nodes_inserted
-            balance_report.soft_fifos += report.soft_fifos
-            balance_report.token_streams += report.token_streams
-    _apply_tiling_hints(schedules, options)
-    stage_done("dataflow-opt")
-    if options.verify:
-        verify(module)
-
-    # 6. Structural dataflow parallelization.
-    stage("parallelize")
-    parallelization = ParallelizationResult()
-    misalignments = 0
-    for schedule in schedules:
-        result = parallelize_schedule(schedule, options.parallelization_options())
-        parallelization.unroll_factors.update(result.unroll_factors)
-        parallelization.parallel_factors.update(result.parallel_factors)
-        parallelization.intensities.update(result.intensities)
-        parallelization.constraint_violations += result.constraint_violations
-        parallelization.proposals_evaluated += result.proposals_evaluated
-        misalignments += count_misalignments(schedule)
-    if not schedules:
-        # Single-band kernels: apply the intra-band loop optimizations only.
-        for func in module.functions:
-            result = parallelize_function_bands(func, options.parallelization_options())
-            parallelization.unroll_factors.update(result.unroll_factors)
-            parallelization.parallel_factors.update(result.parallel_factors)
-            parallelization.intensities.update(result.intensities)
-    stage_done("parallelize")
-    if options.verify:
-        verify(module)
-
-    # QoR estimation of the final design.
-    stage("estimate")
-    estimate = _estimate_design(module, schedules, estimator, options)
-    stage_done("estimate")
-
-    return CompileResult(
-        module=module,
-        schedules=schedules,
-        estimate=estimate,
-        parallelization=parallelization,
-        balance_report=balance_report,
-        options=options,
-        compile_seconds=time.perf_counter() - start,
-        stage_seconds=stage_seconds,
-        misalignments=misalignments,
-    )
-
-
-def _estimate_design(
-    module: ModuleOp,
-    schedules: Sequence[ScheduleOp],
-    estimator: QoREstimator,
-    options: HidaOptions,
-) -> DesignEstimate:
-    if schedules:
-        estimates = [
-            estimator.estimate_schedule(schedule, dataflow=options.enable_dataflow)
-            for schedule in schedules
-        ]
-        # The top-level schedule dominates; nested schedules already
-        # contribute through their parent node's loops.
-        return max(estimates, key=lambda e: e.latency)
-    # No schedule was formed (single-band kernels): estimate the function.
-    func = module.functions[0] if module.functions else None
-    if func is None:
-        raise ValueError("module has no function to estimate")
-    return estimator.estimate_function(func, dataflow=False)
+    result = Compiler.from_options(options or HidaOptions()).run(module)
+    for key in _LEGACY_STAGE_KEYS:
+        result.stage_seconds.setdefault(key, 0.0)
+    return result
 
 
 class HidaCompiler:
     """Object-style wrapper around :func:`compile_module`.
 
     Keeps a default option set and exposes convenience entry points for the
-    two supported frontends.
+    two supported frontends.  For spec-first composition (custom stage
+    orders, ablations, observers) use :class:`repro.compiler.Compiler`.
     """
 
     def __init__(self, options: Optional[HidaOptions] = None) -> None:

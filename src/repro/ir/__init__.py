@@ -24,6 +24,7 @@ from .passes import (
     AnalysisManager,
     FunctionPass,
     Pass,
+    PassInstrumentation,
     PassManager,
     RewritePattern,
     apply_patterns_greedily,
@@ -84,6 +85,7 @@ __all__ = [
     "AnalysisManager",
     "FunctionPass",
     "Pass",
+    "PassInstrumentation",
     "PassManager",
     "RewritePattern",
     "apply_patterns_greedily",

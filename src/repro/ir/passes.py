@@ -20,6 +20,7 @@ __all__ = [
     "Pass",
     "FunctionPass",
     "PassManager",
+    "PassInstrumentation",
     "PassTiming",
     "RewritePattern",
     "apply_patterns_greedily",
@@ -104,6 +105,22 @@ class PassTiming:
         return f"{self.name}: {self.seconds * 1e3:.2f} ms"
 
 
+class PassInstrumentation:
+    """Observer hooks around individual pass executions.
+
+    The pass-level sibling of the stage-level
+    :class:`repro.compiler.driver.PipelineObserver`: attach instances to a
+    :class:`PassManager` to watch IR evolve between passes (snapshots,
+    custom timing sinks, invariant checks) without subclassing the manager.
+    """
+
+    def on_pass_start(self, pass_: Pass, module: ModuleOp) -> None:
+        pass
+
+    def on_pass_end(self, pass_: Pass, module: ModuleOp, seconds: float) -> None:
+        pass
+
+
 class PassManager:
     """Runs a sequence of passes over a module, optionally verifying between."""
 
@@ -111,9 +128,11 @@ class PassManager:
         self,
         passes: Sequence[Pass] = (),
         verify_each: bool = True,
+        instrumentations: Sequence[PassInstrumentation] = (),
     ) -> None:
         self._passes: List[Pass] = list(passes)
         self.verify_each = verify_each
+        self.instrumentations: List[PassInstrumentation] = list(instrumentations)
         self.timings: List[PassTiming] = []
 
     def add(self, pass_: Pass) -> "PassManager":
@@ -128,14 +147,23 @@ class PassManager:
     def passes(self) -> List[Pass]:
         return list(self._passes)
 
+    def add_instrumentation(self, instrumentation: PassInstrumentation) -> "PassManager":
+        self.instrumentations.append(instrumentation)
+        return self
+
     def run(self, module: ModuleOp) -> ModuleOp:
         analyses = AnalysisManager()
         self.timings = []
         for pass_ in self._passes:
+            for instrumentation in self.instrumentations:
+                instrumentation.on_pass_start(pass_, module)
             start = time.perf_counter()
             pass_.run(module, analyses)
             analyses.invalidate()
-            self.timings.append(PassTiming(pass_.name, time.perf_counter() - start))
+            elapsed = time.perf_counter() - start
+            self.timings.append(PassTiming(pass_.name, elapsed))
+            for instrumentation in self.instrumentations:
+                instrumentation.on_pass_end(pass_, module, elapsed)
             if self.verify_each:
                 verify(module)
         return module

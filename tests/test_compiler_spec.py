@@ -1,0 +1,474 @@
+"""Tests of the composable compiler front door (repro.compiler).
+
+Covers the textual pipeline-spec parser/printer (round-trips, diagnostics
+with token + offset, hash stability), the stage registry, the observer
+hooks, the legacy-equivalence guarantee of the default spec, and the
+spec-expressed Figure-11 ablation baselines.
+"""
+
+import pytest
+
+from repro import Compiler, HidaOptions, compile_module
+from repro.baselines import ABLATION_MODES, ablation_pipeline_spec, run_ablation_mode
+from repro.compiler import (
+    DEFAULT_PIPELINE,
+    CompilationStage,
+    DiagnosticsObserver,
+    PipelineSpec,
+    PipelineSpecError,
+    SnapshotObserver,
+    StageSpec,
+    TimingObserver,
+    available_stages,
+    get_stage_class,
+    options_from_spec,
+    parse_pipeline,
+    register_stage,
+    spec_from_options,
+    stage_registry,
+)
+from repro.frontend.cpp import build_kernel, build_listing1
+from repro.frontend.nn import build_model
+from repro.ir import verify
+
+
+# ---------------------------------------------------------------- parsing
+class TestSpecParsing:
+    def test_parse_print_roundtrip(self):
+        text = (
+            "construct-dataflow,fuse-tasks{patterns=elementwise,init},"
+            "lower-structural,balance,parallelize{ia=1,ca=1,target-ii=2}"
+        )
+        spec = parse_pipeline(text)
+        assert spec.print() == text
+        assert parse_pipeline(spec.print()) == spec
+
+    def test_whitespace_is_insignificant(self):
+        a = parse_pipeline("construct-dataflow, balance { budget = 64 } , estimate")
+        b = parse_pipeline("construct-dataflow,balance{budget=64},estimate")
+        assert a == b
+        assert a.print() == b.print()
+
+    def test_list_option_continuation(self):
+        spec = parse_pipeline("fuse-tasks{patterns=elementwise,init}")
+        assert spec.stages[0].options == {"patterns": ["elementwise", "init"]}
+
+    def test_scalar_then_list_options(self):
+        spec = parse_pipeline("fuse-tasks{patterns=a,b},parallelize{factor=8,ia=0}")
+        assert spec.stages[0].options == {"patterns": ["a", "b"]}
+        assert spec.stages[1].options == {"factor": ["8"], "ia": ["0"]}
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(PipelineSpecError, match="empty pipeline spec"):
+            parse_pipeline("   ")
+
+    def test_trailing_comma_rejected(self):
+        with pytest.raises(PipelineSpecError, match="trailing ','"):
+            parse_pipeline("estimate,")
+
+    def test_unterminated_brace_names_stage_and_offset(self):
+        with pytest.raises(PipelineSpecError, match=r"'balance'.*offset 7"):
+            parse_pipeline("balance{budget=64")
+
+    def test_bare_value_before_any_option(self):
+        with pytest.raises(PipelineSpecError, match=r"bare value 'oops'"):
+            parse_pipeline("fuse-tasks{oops}")
+
+    def test_duplicate_option_rejected(self):
+        with pytest.raises(PipelineSpecError, match="duplicate option 'size'"):
+            parse_pipeline("tile{size=4,size=8}")
+
+    def test_parse_error_offsets_point_at_the_bad_token(self):
+        text = "construct-dataflow,tile{size=x}"
+        with pytest.raises(PipelineSpecError) as exc:
+            Compiler.from_spec(text)
+        assert "expects an integer" in str(exc.value)
+        assert exc.value.offset == text.index("size=")
+
+
+# ------------------------------------------------------- registry + stages
+class TestStageRegistry:
+    def test_figure3_stages_registered(self):
+        assert set(available_stages()) >= {
+            "construct-dataflow",
+            "fuse-tasks",
+            "lower-linalg",
+            "lower-structural",
+            "eliminate-multi-producers",
+            "balance",
+            "tile",
+            "parallelize",
+            "estimate",
+        }
+
+    def test_unknown_stage_error_names_token_offset_and_alternatives(self):
+        text = "construct-dataflow,fuze-tasks,estimate"
+        with pytest.raises(PipelineSpecError) as exc:
+            Compiler.from_spec(text)
+        message = str(exc.value)
+        assert "fuze-tasks" in message and "known stages" in message
+        assert "fuse-tasks" in message
+        assert exc.value.offset == text.index("fuze-tasks")
+
+    def test_unknown_option_error_names_token_offset_and_alternatives(self):
+        text = "parallelize{factr=8}"
+        with pytest.raises(PipelineSpecError) as exc:
+            Compiler.from_spec(text)
+        message = str(exc.value)
+        assert "factr" in message and "factor" in message
+        assert exc.value.offset == text.index("factr")
+
+    def test_bad_bool_token(self):
+        with pytest.raises(PipelineSpecError, match="boolean"):
+            Compiler.from_spec("parallelize{ia=maybe}")
+
+    def test_unknown_fusion_pattern_in_spec(self):
+        compiler = Compiler.from_spec("construct-dataflow,fuse-tasks{patterns=bogus}")
+        with pytest.raises(PipelineSpecError, match="bogus.*known patterns"):
+            compiler.run(build_listing1())
+
+    def test_python_constructor_validates_options(self):
+        cls = get_stage_class("parallelize")
+        stage = cls(factor=8, ia=False)
+        assert stage.factor == 8 and stage.ia is False and stage.ca is True
+        with pytest.raises(TypeError, match="no option"):
+            cls(factorr=8)
+
+    def test_custom_stage_registration_roundtrip(self):
+        @register_stage
+        class NopStage(CompilationStage):
+            name = "test-nop"
+            timing_key = "test-nop"
+
+            def run(self, state):
+                state.emit(self.name, "did nothing")
+
+        try:
+            assert "test-nop" in available_stages()
+            spec = parse_pipeline("test-nop,construct-dataflow,lower-structural,estimate")
+            result = Compiler.from_spec(spec, platform="zu3eg").run(build_listing1())
+            assert "test-nop" in result.stage_seconds
+        finally:
+            stage_registry()  # sanity: registry copy, not the live dict
+            from repro.compiler import stages as stages_module
+
+            stages_module._REGISTRY.pop("test-nop", None)
+
+    def test_registry_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_stage
+            class Impostor(CompilationStage):
+                name = "balance"
+
+                def run(self, state):
+                    pass
+
+
+# ------------------------------------------------------------ canonical
+class TestCanonicalSpecs:
+    def test_default_options_print_default_pipeline(self):
+        assert spec_from_options(HidaOptions()).print() == DEFAULT_PIPELINE
+
+    def test_canonical_print_drops_defaults(self):
+        compiler = Compiler.from_spec("parallelize{factor=32,ia=1,ca=1,target-ii=1},estimate{dataflow=1}")
+        assert compiler.spec_text() == "parallelize,estimate"
+
+    def test_spec_hash_stable_across_spellings(self):
+        a = Compiler.from_spec("parallelize{factor=32,ia=true},estimate")
+        b = Compiler.from_spec(" parallelize , estimate ")
+        assert a.spec_hash() == b.spec_hash()
+        c = Compiler.from_spec("parallelize{factor=16},estimate")
+        assert c.spec_hash() != a.spec_hash()
+
+    def test_options_spec_roundtrip(self):
+        options = HidaOptions(
+            platform="zu3eg",
+            max_parallel_factor=64,
+            tile_size=8,
+            fuse_tasks=False,
+            intensity_aware=False,
+            target_ii=2,
+            enable_dataflow=False,
+        )
+        spec = spec_from_options(options)
+        restored = options_from_spec(spec, platform="zu3eg")
+        assert restored == options
+        assert spec_from_options(restored).print() == spec.print()
+
+    def test_options_to_pipeline_spec_method(self):
+        options = HidaOptions(balance_paths=False, tile_size=0)
+        text = options.to_pipeline_spec()
+        assert "balance" not in text and "tile" not in text
+        assert options_from_spec(text).balance_paths is False
+
+    def test_stagespec_print(self):
+        stage = StageSpec("tile", {"size": ["8"]})
+        assert stage.print() == "tile{size=8}"
+        assert PipelineSpec([stage]).print() == "tile{size=8}"
+
+
+# ----------------------------------------------------------- equivalence
+class TestLegacyEquivalence:
+    WORKLOADS = (
+        ("listing1", lambda: build_listing1()),
+        ("atax", lambda: build_kernel("atax")),
+        ("lenet", lambda: build_model("lenet")),
+    )
+
+    @pytest.mark.parametrize("name,builder", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+    def test_default_spec_equals_legacy_compile_module(self, name, builder):
+        options = HidaOptions(platform="zu3eg")
+        legacy = compile_module(builder(), options)
+        spec_result = Compiler.from_spec(
+            spec_from_options(options), platform="zu3eg"
+        ).run(builder())
+        assert spec_result.estimate.to_dict() == legacy.estimate.to_dict()
+        assert len(spec_result.schedules) == len(legacy.schedules)
+        assert set(spec_result.stage_seconds) == set(legacy.stage_seconds)
+
+        def qor(result):
+            return {
+                k: v for k, v in result.summary().items() if k != "compile_seconds"
+            }
+
+        assert qor(spec_result) == qor(legacy)
+
+    def test_default_stage_seconds_keys_match_legacy_names(self):
+        result = compile_module(build_listing1(), HidaOptions(platform="zu3eg"))
+        assert set(result.stage_seconds) == {
+            "construct",
+            "fusion",
+            "bufferize",
+            "structural",
+            "dataflow-opt",
+            "parallelize",
+            "estimate",
+        }
+
+    def test_ablated_options_keep_legacy_stage_seconds_keys(self):
+        # The legacy monolith timed disabled stages as ~0s buckets; the
+        # wrapper must preserve those keys for external consumers.
+        result = compile_module(
+            build_listing1(),
+            HidaOptions(
+                platform="zu3eg",
+                fuse_tasks=False,
+                balance_paths=False,
+                eliminate_multi_producers=False,
+                tile_size=0,
+            ),
+        )
+        assert set(result.stage_seconds) >= {"fusion", "dataflow-opt"}
+        assert result.stage_seconds["fusion"] == 0.0
+
+    def test_custom_fusion_pattern_instances_survive_compile_module(self):
+        from repro.hida import ElementwiseFusionPattern
+
+        calls = []
+
+        class TracingPattern(ElementwiseFusionPattern):
+            name = "tracing-fusion"
+
+            def match(self, task):
+                calls.append(task)
+                return super().match(task)
+
+        result = compile_module(
+            build_model("lenet"),
+            HidaOptions(platform="zu3eg", fusion_patterns=[TracingPattern()]),
+        )
+        assert calls, "custom pattern instance was never consulted"
+        assert result.throughput > 0
+        assert result.options.fusion_patterns is not None
+        assert type(result.options.fusion_patterns[0]).__name__ == "TracingPattern"
+
+    def test_compile_result_options_reflect_spec(self):
+        result = Compiler.from_spec(
+            "construct-dataflow,lower-structural,parallelize{factor=8,ca=0},estimate",
+            platform="zu3eg",
+        ).run(build_listing1())
+        assert result.options.max_parallel_factor == 8
+        assert result.options.connection_aware is False
+        assert result.options.fuse_tasks is False
+        assert result.options.platform == "zu3eg"
+
+    def test_missing_estimate_stage_is_a_helpful_error(self):
+        compiler = Compiler.from_spec("construct-dataflow,lower-structural")
+        with pytest.raises(PipelineSpecError, match="estimate"):
+            compiler.run(build_listing1())
+
+    def test_verify_each_spec_run(self):
+        result = Compiler.from_spec(
+            DEFAULT_PIPELINE, platform="zu3eg", verify_each=True
+        ).run(build_listing1())
+        assert verify(result.module) == []
+
+
+# -------------------------------------------------------------- observers
+class TestObservers:
+    def test_timing_observer_sees_every_stage_in_order(self):
+        timing = TimingObserver()
+        Compiler.from_spec(
+            DEFAULT_PIPELINE, platform="zu3eg", observers=[timing]
+        ).run(build_listing1())
+        names = [name for name, _ in timing.timings]
+        assert names == DEFAULT_PIPELINE.split(",")
+        assert all(seconds >= 0 for _, seconds in timing.timings)
+        assert set(timing.by_stage()) == set(names)
+
+    def test_snapshot_observer_captures_ir_per_stage(self):
+        snapshots = SnapshotObserver(["construct-dataflow", "lower-structural"])
+        Compiler.from_spec(
+            DEFAULT_PIPELINE, platform="zu3eg", observers=[snapshots]
+        ).run(build_listing1())
+        stages = [stage for stage, _ in snapshots.snapshots]
+        assert stages == ["construct-dataflow", "lower-structural"]
+        construct_ir, structural_ir = (text for _, text in snapshots.snapshots)
+        assert "hida.task" in construct_ir
+        assert "hida.schedule" in structural_ir
+
+    def test_diagnostics_observer_receives_structured_diagnostics(self):
+        diagnostics = DiagnosticsObserver()
+        result = Compiler.from_spec(
+            DEFAULT_PIPELINE, platform="zu3eg", observers=[diagnostics]
+        ).run(build_listing1())
+        assert diagnostics.diagnostics
+        stages_seen = {d.stage for d in diagnostics.diagnostics}
+        assert "construct-dataflow" in stages_seen
+        first = diagnostics.diagnostics[0]
+        assert first.severity in ("note", "warning", "error")
+        assert first.data.get("tasks", 0) >= 1
+        # The same diagnostics are available on the run result path too.
+        assert result.estimate is not None
+
+
+# -------------------------------------------------------------- ablations
+class TestAblationSpecs:
+    def test_every_mode_is_a_roundtrippable_printed_spec(self):
+        for mode in ABLATION_MODES:
+            text = ablation_pipeline_spec(mode, 32, tile_size=16)
+            parsed = parse_pipeline(text)
+            assert parse_pipeline(parsed.print()) == parsed
+            # and it builds + canonicalizes through the registry
+            compiler = Compiler.from_spec(text)
+            assert parse_pipeline(compiler.spec_text()).print() == compiler.spec_text()
+
+    def test_modes_differ_only_in_parallelize_stage(self):
+        specs = {
+            mode: parse_pipeline(ablation_pipeline_spec(mode, 32)) for mode in ABLATION_MODES
+        }
+        for mode, spec in specs.items():
+            names = [stage.name for stage in spec]
+            assert names == [s.name for s in specs["ia+ca"].stages]
+            (parallelize,) = [s for s in spec if s.name == "parallelize"]
+            ia, ca = ABLATION_MODES[mode]
+            assert parallelize.options["ia"] == [str(int(ia))]
+            assert parallelize.options["ca"] == [str(int(ca))]
+
+    def test_run_ablation_mode_reports_its_spec(self):
+        outcome = run_ablation_mode(
+            build_listing1(), "ia", 16, platform="zu3eg", tile_size=0
+        )
+        assert outcome.pipeline_spec
+        assert "ca=0" in outcome.pipeline_spec
+        assert outcome.summary()["pipeline_spec"] == outcome.pipeline_spec
+
+    def test_unknown_mode_raises_keyerror(self):
+        with pytest.raises(KeyError, match="bogus"):
+            ablation_pipeline_spec("bogus", 8)
+
+
+# ----------------------------------------------- satellite: from_dict error
+class TestHidaOptionsFromDict:
+    def test_unknown_fusion_pattern_lists_known_names(self):
+        data = HidaOptions().to_dict()
+        data["fusion_patterns"] = ["ElementwiseFusionPattern", "Bogus", "Worse"]
+        with pytest.raises(ValueError) as exc:
+            HidaOptions.from_dict(data)
+        message = str(exc.value)
+        assert "'Bogus'" in message and "'Worse'" in message
+        assert "ElementwiseFusionPattern" in message
+        assert "InitializationFusionPattern" in message
+        assert "elementwise" in message and "init" in message
+
+    def test_short_names_accepted(self):
+        data = HidaOptions().to_dict()
+        data["fusion_patterns"] = ["elementwise", "init"]
+        options = HidaOptions.from_dict(data)
+        assert len(options.fusion_patterns) == 2
+
+
+# ------------------------------------------------------------------- CLI
+class TestCompilerCli:
+    def test_print_default_pipeline(self, capsys):
+        from repro.compiler.__main__ import main
+
+        assert main(["--print-default-pipeline"]) == 0
+        assert capsys.readouterr().out.strip() == DEFAULT_PIPELINE
+
+    def test_list_stages(self, capsys):
+        from repro.compiler.__main__ import main
+
+        assert main(["--list-stages"]) == 0
+        out = capsys.readouterr().out
+        assert "parallelize" in out and "target-ii" in out
+
+    def test_compile_from_spec(self, capsys, tmp_path):
+        from repro.compiler.__main__ import main
+
+        json_path = tmp_path / "out.json"
+        code = main(
+            [
+                "--workload",
+                "kernel:atax",
+                "--platform",
+                "zu3eg",
+                "--spec",
+                "construct-dataflow,lower-structural,parallelize{factor=8},estimate",
+                "--timings",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "per-stage timings" in out
+        import json as json_module
+
+        payload = json_module.loads(json_path.read_text())
+        assert payload["pipeline_spec"].startswith("construct-dataflow")
+        assert payload["summary"]["throughput"] > 0
+
+    def test_bad_spec_exits_2(self, capsys):
+        from repro.compiler.__main__ import main
+
+        assert main(["--workload", "kernel:atax", "--spec", "nope"]) == 2
+        assert "known stages" in capsys.readouterr().err
+
+
+# ------------------------------------------------- pass instrumentation
+class TestPassInstrumentation:
+    def test_pass_manager_invokes_hooks(self):
+        from repro.ir import ModuleOp, PassInstrumentation, PassManager
+        from repro.ir.passes import Pass
+
+        events = []
+
+        class Recorder(PassInstrumentation):
+            def on_pass_start(self, pass_, module):
+                events.append(("start", pass_.name))
+
+            def on_pass_end(self, pass_, module, seconds):
+                events.append(("end", pass_.name, seconds >= 0))
+
+        class NopPass(Pass):
+            name = "nop"
+
+            def run(self, module, analyses):
+                pass
+
+        manager = PassManager([NopPass()], verify_each=False)
+        manager.add_instrumentation(Recorder())
+        manager.run(ModuleOp.create())
+        assert events == [("start", "nop"), ("end", "nop", True)]

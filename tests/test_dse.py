@@ -197,6 +197,114 @@ def test_exploration_result_serialization(tmp_path):
     assert "Pareto frontier" in table and "mvt" in table
 
 
+# ------------------------------------------- pipeline specs as a design axis
+def test_design_point_pipeline_spec_axis(tmp_path):
+    flag_point = DesignPoint(workload_kind="kernel", workload="atax", tile_size=0)
+    spec_point = DesignPoint(
+        workload_kind="kernel",
+        workload="atax",
+        pipeline_spec=flag_point.canonical_spec(),
+    )
+    # Distinct points (the spec is part of the identity)...
+    assert spec_point.key() != flag_point.key()
+    assert spec_point.label().startswith("atax/zu3eg/spec-")
+    # ...but the same canonical spec, so they share one QoR cache entry.
+    cold = evaluate_point(flag_point, str(tmp_path / "qor"))
+    warm = evaluate_point(spec_point, str(tmp_path / "qor"))
+    assert cold["cached"] is False and warm["cached"] is True
+    assert warm["summary"] == cold["summary"]
+    assert warm["pipeline_spec"] == cold["pipeline_spec"] == flag_point.canonical_spec()
+
+
+def test_design_point_spec_roundtrips_through_json():
+    point = DesignPoint(
+        workload_kind="kernel",
+        workload="mvt",
+        pipeline_spec="construct-dataflow,lower-structural,parallelize{factor=8},estimate",
+    )
+    again = DesignPoint.from_dict(json.loads(json.dumps(point.to_dict())))
+    assert again == point and again.key() == point.key()
+    # Flag-driven points keep pipeline_spec out of their serialized identity.
+    flag_point = DesignPoint(workload_kind="kernel", workload="mvt")
+    assert "pipeline_spec" not in flag_point.to_dict()
+
+
+def test_build_space_with_pipeline_spec_axis():
+    suite = polybench_suite()[:2]
+    baseline = build_space("small", suite=suite)
+    spec = "construct-dataflow,lower-structural,parallelize{factor=8},estimate"
+    augmented = build_space("small", suite=suite, pipeline_specs=(None, spec))
+    assert len(augmented) == len(baseline) + len(suite)
+    spec_points = [p for p in augmented if p.pipeline_spec is not None]
+    assert {p.pipeline_spec for p in spec_points} == {spec}
+
+
+def test_bad_pipeline_spec_surfaces_as_record_error(tmp_path):
+    point = DesignPoint(
+        workload_kind="kernel", workload="atax", pipeline_spec="no-such-stage"
+    )
+    record = evaluate_point(point, str(tmp_path / "qor"))
+    assert "error" in record and "no-such-stage" in record["error"]
+
+
+# ----------------------------------------------------------------- resume
+def test_explore_resume_streams_cache_without_recompute(tmp_path):
+    space = tiny_space(kernels=("atax", "mvt"))
+    subset = space.points[:3]
+    explore(subset, workers=1, cache_dir=str(tmp_path / "qor"))
+
+    resumed = explore(space, workers=1, cache_dir=str(tmp_path / "qor"), resume=True)
+    assert resumed.num_points == 3
+    assert resumed.skipped == len(space) - 3
+    assert resumed.num_cached == 3
+    blob = json.loads(resumed.to_json())
+    assert blob["skipped"] == resumed.skipped
+    from repro.evaluation import ExplorationResult
+
+    assert ExplorationResult.from_dict(blob).skipped == resumed.skipped
+    # A later full run picks the skipped points up and the frontier converges.
+    full = explore(space, workers=1, cache_dir=str(tmp_path / "qor"))
+    assert full.skipped == 0
+    resumed_again = explore(space, workers=1, cache_dir=str(tmp_path / "qor"), resume=True)
+    assert resumed_again.num_points == len(space)
+    assert resumed_again.frontier_keys() == full.frontier_keys()
+
+
+def test_explore_resume_requires_cache():
+    with pytest.raises(ValueError, match="resume"):
+        explore(tiny_space(kernels=("atax",)), use_cache=False, resume=True)
+
+
+def test_dse_cli_resume_and_pipeline_spec(tmp_path, capsys):
+    from repro.dse.__main__ import main
+
+    cache = str(tmp_path / "qor")
+    spec = "construct-dataflow,lower-structural,parallelize{factor=8},estimate"
+    code = main(
+        [
+            "--space", "small", "--sample", "3",
+            "--cache-dir", cache,
+            "--pipeline-spec", spec,
+        ]
+    )
+    assert code == 0
+    out_path = tmp_path / "partial.json"
+    code = main(
+        [
+            "--space", "small",
+            "--cache-dir", cache,
+            "--resume",
+            "--pipeline-spec", spec,
+            "--json", str(out_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "(--resume)" in out
+    blob = json.loads(out_path.read_text())
+    assert blob["records"] and all(r["cached"] for r in blob["records"])
+
+
 # ------------------------------------------------- estimator cache plumbing
 def test_qor_estimator_cache_plumbing(tmp_path):
     from repro.estimation import QoREstimator, get_platform
