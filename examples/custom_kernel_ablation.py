@@ -7,6 +7,12 @@ parallelization ablation modes of the paper (IA+CA / IA / CA / naive) and
 with/without coarse-grained dataflow, so the effect of every HIDA
 optimization is visible on a small example.
 
+One ``@register_workload`` decorator makes the kernel a first-class
+workload: after that it is addressable by name (``"blur-scale"``,
+parameterized as ``"blur-scale@height=32,width=32"``) from the Compiler,
+``python -m repro.compiler``, DSE spaces and the baselines — no other
+module needs editing.
+
 Run with:  python examples/custom_kernel_ablation.py
 """
 
@@ -14,8 +20,10 @@ from repro import Compiler
 from repro.baselines import ablation_pipeline_spec, run_ablation_mode
 from repro.evaluation import format_table
 from repro.frontend.cpp import KernelBuilder
+from repro.workloads import register_workload
 
 
+@register_workload("blur-scale", kind="kernel", tags=("custom",))
 def build_blur_then_scale(height: int = 64, width: int = 64):
     """A two-stage image pipeline: 3x3 mean blur followed by scaling."""
     kb = KernelBuilder("blur_scale")
@@ -47,7 +55,7 @@ def main() -> None:
             "eliminate-multi-producers,balance,parallelize{factor=16},"
             f"estimate{{dataflow={int(dataflow)}}}",
             platform="zu3eg",
-        ).run(build_blur_then_scale())
+        ).run(workload="blur-scale")
         rows.append([
             "dataflow" if dataflow else "sequential",
             f"{result.throughput:.1f}",

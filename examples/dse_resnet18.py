@@ -18,15 +18,19 @@ from repro.estimation import get_platform
 
 
 def build_resnet_space() -> DesignSpace:
-    """ResNet-18 on one VU9P SLR under a grid of optimization budgets."""
+    """ResNet-18 on one VU9P SLR under a grid of optimization budgets.
+
+    ``DesignPoint.for_workload`` resolves the workload through the
+    :mod:`repro.workloads` registry, so swapping the swept model (or a
+    parameterized variant like ``"resnet18@batch=4"``) is a one-string edit.
+    """
     space = DesignSpace()
     for factor in (16, 64, 128):
         for tile in (0, 16, 32):
             for top_k in (0, 2):
                 space.add(
-                    DesignPoint(
-                        workload_kind="model",
-                        workload="resnet18",
+                    DesignPoint.for_workload(
+                        "resnet18",
                         platform="vu9p-slr",
                         max_parallel_factor=factor,
                         tile_size=tile,

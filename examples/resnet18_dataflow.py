@@ -9,17 +9,18 @@ against the ScaleHLS-style baseline under the same resource budget.
 Run with:  python examples/resnet18_dataflow.py
 """
 
-from repro import HidaCompiler
+from repro import HidaCompiler, get_target, get_workload
 from repro.baselines import compile_scalehls_baseline
-from repro.estimation import dsp_efficiency, get_platform, memory_reduction
-from repro.frontend.nn import build_model, layer_summary
+from repro.estimation import dsp_efficiency, memory_reduction
+from repro.frontend.nn import layer_summary
 
 
 def main() -> None:
-    platform = get_platform("vu9p-slr")
+    platform = get_target("vu9p-slr").platform
 
-    # 1. Inspect the traced model.
-    module = build_model("resnet18")
+    # 1. Resolve the workload from the registry and inspect the traced model.
+    workload = get_workload("resnet18")
+    module = workload.build_module()
     summary = layer_summary(module)
     total_macs = sum(row[3] for row in summary)
     print(f"ResNet-18: {len(summary)} layers, {total_macs / 1e9:.2f} GMACs per image")
@@ -42,8 +43,8 @@ def main() -> None:
     print(f"  DSP efficiency       : {efficiency * 100:.1f}%")
     print(f"  compile time         : {result.compile_seconds:.2f} s")
 
-    # 3. Compare with the ScaleHLS-style baseline.
-    baseline = compile_scalehls_baseline(build_model("resnet18"), max_parallel_factor=32)
+    # 3. Compare with the ScaleHLS-style baseline (resolved by name).
+    baseline = compile_scalehls_baseline("resnet18", max_parallel_factor=32)
     print("\n=== ScaleHLS baseline ===")
     print(f"  throughput           : {baseline.throughput:.1f} images/s")
     print(f"  DSPs / BRAMs         : {baseline.estimate.resources.dsp:.0f} / "

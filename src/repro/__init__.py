@@ -20,12 +20,16 @@ The package layers:
 * :mod:`repro.evaluation` — the experiment harnesses behind every table and
   figure of the paper.
 
-Quickstart::
+Quickstart (the workload/target registries are the front door for *what*
+to compile and *for which hardware*)::
 
-    from repro import HidaCompiler
+    from repro import Compiler
 
-    compiler = HidaCompiler()
-    result = compiler.compile_model("resnet18", max_parallel_factor=64)
+    result = Compiler.from_spec(
+        "construct-dataflow,fuse-tasks,lower-linalg,lower-structural,"
+        "eliminate-multi-producers,balance,tile,parallelize{factor=64},estimate",
+        platform="vu9p-slr",
+    ).run(workload="resnet18@batch=4")
     print(result.summary())
 
 Spec-first front door (see :mod:`repro.compiler`)::
@@ -43,8 +47,10 @@ from .backend import emit_hls_cpp
 from .compiler import DEFAULT_PIPELINE, Compiler, PipelineSpec, parse_pipeline
 from .estimation import Platform, QoREstimator, get_platform
 from .hida import CompileResult, HidaCompiler, HidaOptions, compile_module
+from .targets import Target, get_target, list_targets
+from .workloads import Workload, get_workload, list_workloads
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompileResult",
@@ -59,5 +65,11 @@ __all__ = [
     "Platform",
     "QoREstimator",
     "get_platform",
+    "Target",
+    "get_target",
+    "list_targets",
+    "Workload",
+    "get_workload",
+    "list_workloads",
     "__version__",
 ]

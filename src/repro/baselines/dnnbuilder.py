@@ -81,9 +81,14 @@ def compile_dnnbuilder_baseline(
 ) -> DNNBuilderResult:
     """Estimate a DNNBuilder pipeline for a traced (linalg-level) model.
 
-    ``dsp_budget`` defaults to the platform's full DSP count; the paper
-    constrains both frameworks to the same resources for fairness.
+    ``module`` may also be a registry workload id (``"vgg16"``) or
+    :class:`~repro.workloads.Workload` handle.  ``dsp_budget`` defaults to
+    the platform's full DSP count; the paper constrains both frameworks to
+    the same resources for fairness.
     """
+    from ..workloads import as_module
+
+    module = as_module(module)
     target = get_platform(platform)
     budget = dsp_budget if dsp_budget is not None else target.dsps
 

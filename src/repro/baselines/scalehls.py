@@ -82,7 +82,14 @@ def compile_scalehls_baseline(
     max_parallel_factor: int = 32,
     enable_dataflow: bool = True,
 ) -> ScaleHLSResult:
-    """Compile ``module`` with ScaleHLS-style policies and estimate its QoR."""
+    """Compile ``module`` with ScaleHLS-style policies and estimate its QoR.
+
+    ``module`` may also be a registry workload id (``"resnet18@batch=4"``)
+    or :class:`~repro.workloads.Workload` handle, resolved lazily.
+    """
+    from ..workloads import as_module
+
+    module = as_module(module)
     target = get_platform(platform)
     estimator = QoREstimator(target)
     start = time.perf_counter()

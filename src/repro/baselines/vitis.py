@@ -23,10 +23,16 @@ __all__ = ["compile_vitis_baseline"]
 def compile_vitis_baseline(
     module: ModuleOp, platform: str = "zu3eg"
 ) -> DesignEstimate:
-    """Estimate ``module`` as Vitis HLS would compile it out of the box."""
+    """Estimate ``module`` as Vitis HLS would compile it out of the box.
+
+    ``module`` may also be a registry workload id (``"atax"``) or
+    :class:`~repro.workloads.Workload` handle, resolved lazily.
+    """
     from ..dialects import linalg
     from ..transforms.linalg_to_affine import lower_linalg_to_affine
+    from ..workloads import as_module
 
+    module = as_module(module)
     target = get_platform(platform)
     if any(isinstance(op, linalg.LinalgOp) for op in module.walk()):
         lower_linalg_to_affine(module)

@@ -4,8 +4,11 @@ Examples::
 
     python -m repro.compiler --print-default-pipeline
     python -m repro.compiler --list-stages
-    python -m repro.compiler --workload kernel:atax --platform zu3eg
-    python -m repro.compiler --workload model:lenet@4 \\
+    python -m repro.compiler --list-workloads
+    python -m repro.compiler --list-targets
+    python -m repro.compiler --workload atax --target zu3eg
+    python -m repro.compiler --workload resnet18@batch=4 --target vu9p-slr
+    python -m repro.compiler --workload lenet \\
         --spec "construct-dataflow,lower-structural,parallelize{factor=8},estimate" \\
         --timings --print-ir parallelize
 """
@@ -17,6 +20,8 @@ import json
 import sys
 from typing import List, Optional
 
+from ..workloads import UnknownWorkloadError, get_workload, iter_workloads
+from ..targets import UnknownTargetError, get_target, iter_targets
 from .driver import (
     DEFAULT_PIPELINE,
     Compiler,
@@ -29,24 +34,11 @@ from .stages import stage_registry
 
 
 def _parse_workload(text: str):
-    """``kind:name[@batch]`` -> WorkloadSpec (e.g. kernel:atax, model:lenet@4)."""
-    from ..hida.pipeline import WorkloadSpec
-
-    kind, sep, name = text.partition(":")
-    if not sep or not name:
-        raise argparse.ArgumentTypeError(
-            f"workload must look like 'kernel:atax' or 'model:lenet[@batch]', got {text!r}"
-        )
-    batch = 1
-    if "@" in name:
-        name, _, suffix = name.partition("@")
-        try:
-            batch = int(suffix)
-        except ValueError:
-            raise argparse.ArgumentTypeError(
-                f"invalid batch size {suffix!r} in workload {text!r}"
-            ) from None
-    return WorkloadSpec(kind=kind, name=name, batch=batch)
+    """A registry workload id (``resnet18@batch=4``, legacy ``model:lenet@4``)."""
+    try:
+        return get_workload(text)
+    except (UnknownWorkloadError, ValueError) as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -65,6 +57,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list registered stages with their options and exit",
     )
     parser.add_argument(
+        "--list-workloads",
+        action="store_true",
+        help="list registered workloads (models and kernels) and exit",
+    )
+    parser.add_argument(
+        "--list-targets",
+        action="store_true",
+        help="list registered target platforms and exit",
+    )
+    parser.add_argument(
         "--spec",
         default=DEFAULT_PIPELINE,
         help="textual pipeline spec (default: the full Figure-3 pipeline)",
@@ -73,11 +75,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workload",
         type=_parse_workload,
         default=None,
-        metavar="KIND:NAME[@BATCH]",
-        help="what to compile, e.g. kernel:atax or model:lenet@4",
+        metavar="NAME[@PARAM=VALUE,...]",
+        help="registered workload id, e.g. atax, resnet18@batch=4 or 2mm@n=16 "
+        "(see --list-workloads; legacy kind:name[@batch] still accepted)",
     )
     parser.add_argument(
-        "--platform", default="vu9p-slr", help="target platform (default: vu9p-slr)"
+        "--target",
+        "--platform",
+        dest="platform",
+        default="vu9p-slr",
+        metavar="NAME",
+        help="registered target platform or alias (default: vu9p-slr; "
+        "see --list-targets)",
     )
     parser.add_argument(
         "--verify", action="store_true", help="verify the IR after every stage"
@@ -111,6 +120,27 @@ def _print_stage_list() -> None:
             print(f"  {decl.name}={default:<12s} {decl.help}")
 
 
+def _print_workload_list() -> None:
+    for handle in iter_workloads():
+        definition = handle.definition
+        params = ", ".join(
+            f"{decl.name}={decl.default}" for decl in definition.params
+        )
+        print(f"{definition.name:14s} {definition.kind:7s} "
+              f"[{params or '-'}]  {definition.description}")
+
+
+def _print_target_list() -> None:
+    for target in iter_targets():
+        platform = target.platform
+        aliases = ", ".join(target.aliases) or "-"
+        print(f"{target.name:10s} {platform.dsps:5d} DSP  "
+              f"{platform.bram_18k:5d} BRAM18K  {platform.luts:7,d} LUT  "
+              f"{platform.clock_mhz:5.0f} MHz  aliases: {aliases}")
+        if target.description:
+            print(f"  {target.description}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -121,8 +151,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_stages:
         _print_stage_list()
         return 0
+    if args.list_workloads:
+        _print_workload_list()
+        return 0
+    if args.list_targets:
+        _print_target_list()
+        return 0
     if args.workload is None:
-        parser.error("--workload is required unless listing stages or the default spec")
+        parser.error(
+            "--workload is required unless listing stages/workloads/targets "
+            "or the default spec"
+        )
+    try:
+        target = get_target(args.platform)
+    except UnknownTargetError as error:
+        parser.error(str(error))
+    platform_name = target.name
 
     timing = TimingObserver()
     diagnostics = DiagnosticsObserver()
@@ -140,7 +184,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         compiler = Compiler.from_spec(
             args.spec,
-            platform=args.platform,
+            platform=platform_name,
             verify_each=args.verify,
             observers=observers,
         )
@@ -148,10 +192,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(f"pipeline: {compiler.spec_text()}")
-    print(f"platform: {args.platform}   spec-hash: {compiler.spec_hash()}")
+    print(f"platform: {platform_name}   spec-hash: {compiler.spec_hash()}")
 
     try:
-        result = compiler.run(args.workload.build())
+        result = compiler.run(workload=args.workload)
     except PipelineSpecError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -168,7 +212,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name:28s} {seconds * 1e3:8.2f} ms")
 
     summary = result.summary()
-    print(f"\n{args.workload.label()} on {args.platform}:")
+    print(f"\n{args.workload.label()} on {platform_name}:")
     for key, value in summary.items():
         rendered = f"{value:.2f}" if isinstance(value, float) else str(value)
         print(f"  {key}: {rendered}")
@@ -176,7 +220,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.json:
         payload = {
             "workload": args.workload.label(),
-            "platform": args.platform,
+            "platform": platform_name,
             "pipeline_spec": compiler.spec_text(),
             "spec_hash": compiler.spec_hash(),
             "summary": summary,

@@ -207,8 +207,14 @@ class Compiler:
             observer.on_diagnostic(diagnostic)
 
     # ------------------------------------------------------------ execution
-    def run(self, module: ModuleOp):
+    def run(self, module: Optional[ModuleOp] = None, *, workload=None):
         """Run every stage over ``module`` (modified in place).
+
+        Instead of a pre-built module, ``workload`` accepts anything the
+        :mod:`repro.workloads` registry resolves — a workload id such as
+        ``"resnet18@batch=4"``, a bound :class:`~repro.workloads.Workload`
+        handle or a :class:`~repro.hida.pipeline.WorkloadSpec` — and builds
+        the module first (``Compiler.from_spec(...).run(workload="2mm")``).
 
         Returns a :class:`~repro.hida.pipeline.CompileResult`.  Raises
         :class:`~repro.compiler.spec.PipelineSpecError` when the pipeline
@@ -216,6 +222,20 @@ class Compiler:
         partial-pipeline inspection is served by observers instead.
         """
         from ..hida.pipeline import CompileResult
+
+        if workload is not None:
+            if module is not None:
+                raise TypeError("pass either module or workload=..., not both")
+            from ..workloads import as_module
+
+            module = as_module(workload)
+        elif module is None:
+            raise TypeError("Compiler.run() needs a module or workload=...")
+        elif not isinstance(module, ModuleOp):
+            # Convenience: run("2mm") / run(handle) resolve via the registry.
+            from ..workloads import as_module
+
+            module = as_module(module)
 
         state = CompilationState(module=module, platform=get_platform(self.platform))
         state._sink = self._emit_diagnostic
@@ -260,8 +280,8 @@ class Compiler:
         return result
 
     def run_workload(self, workload):
-        """Build a :class:`~repro.hida.pipeline.WorkloadSpec` and run it."""
-        return self.run(workload.build())
+        """Resolve a workload (id, handle or spec) via the registry and run it."""
+        return self.run(workload=workload)
 
     def __repr__(self) -> str:
         return f"Compiler({self.spec_text()!r}, platform={self.platform!r})"

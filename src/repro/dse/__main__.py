@@ -4,6 +4,8 @@ Examples::
 
     python -m repro.dse --space small --workers 8
     python -m repro.dse --space medium --suite dnn --platform pynq-z2
+    python -m repro.dse --space small --workload resnet18@batch=4 --workload 2mm
+    python -m repro.dse --space small --dry-run
     python -m repro.dse --space full --sample 64 --seed 7 --json sweep.json
     python -m repro.dse --space full --resume --json partial.json
     python -m repro.dse --pipeline-spec "construct-dataflow,lower-structural,parallelize{factor=8},estimate"
@@ -16,10 +18,18 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..targets import UnknownTargetError, get_target
+from ..workloads import UnknownWorkloadError
 from .cache import QoRCache, default_cache_dir
 from .pareto import DEFAULT_OBJECTIVES, SUMMARY_METRICS
 from .runner import explore
-from .space import SPACE_PRESETS, build_space, dnn_suite, polybench_suite
+from .space import (
+    SPACE_PRESETS,
+    build_space,
+    dnn_suite,
+    polybench_suite,
+    suite_from_names,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -38,6 +48,25 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("polybench", "dnn"),
         default="polybench",
         help="workload suite to sweep (default: polybench)",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        dest="workloads",
+        default=None,
+        metavar="NAME[@PARAM=VALUE,...]",
+        help="sweep these registered workloads instead of a --suite; "
+        "repeatable (e.g. --workload resnet18@batch=4 --workload 2mm@n=16)",
+    )
+    parser.add_argument(
+        "--list-workloads",
+        action="store_true",
+        help="list registered workload names and exit",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="resolve and print the design points without evaluating them",
     )
     parser.add_argument(
         "--platform",
@@ -116,6 +145,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.workers < 0:
         parser.error(f"--workers must be non-negative (got {args.workers})")
 
+    if args.list_workloads:
+        from ..workloads import iter_workloads
+
+        for handle in iter_workloads():
+            print(f"{handle.name:14s} {handle.kind}")
+        return 0
+
     if args.clear_cache:
         cache = QoRCache(args.cache_dir)
         removed = cache.clear()
@@ -125,8 +161,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.resume and args.no_cache:
         parser.error("--resume needs the QoR cache; drop --no-cache")
 
-    suite = polybench_suite() if args.suite == "polybench" else dnn_suite()
-    platforms = tuple(args.platforms) if args.platforms else ("zu3eg",)
+    if args.workloads:
+        try:
+            suite = suite_from_names(args.workloads)
+        except (UnknownWorkloadError, ValueError) as error:
+            parser.error(f"--workload: {error}")
+        suite_label = "custom suite"
+    else:
+        suite = polybench_suite() if args.suite == "polybench" else dnn_suite()
+        suite_label = f"{args.suite} suite"
+    try:
+        platforms = tuple(
+            get_target(name).name for name in (args.platforms or ("zu3eg",))
+        )
+    except UnknownTargetError as error:
+        parser.error(f"--platform: {error}")
     pipeline_specs: tuple = (None,)
     if args.pipeline_specs:
         from ..compiler import Compiler, PipelineSpecError
@@ -152,9 +201,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"choose from: {', '.join(SUMMARY_METRICS)}"
         )
 
+    if args.dry_run:
+        print(
+            f"{len(space)} design points "
+            f"({args.space} space, {suite_label}, platforms: {', '.join(platforms)})"
+        )
+        for point in space:
+            print(f"  {point.label()}  [{point.key()}]")
+        return 0
+
     print(
         f"exploring {len(space)} design points "
-        f"({args.space} space, {args.suite} suite, platforms: {', '.join(platforms)}) "
+        f"({args.space} space, {suite_label}, platforms: {', '.join(platforms)}) "
         f"with {args.workers} worker(s), cache "
         f"{'off' if args.no_cache else (args.cache_dir or str(default_cache_dir()))}"
     )

@@ -144,10 +144,26 @@ def _replay_cached(point: DesignPoint, cache_dir: str) -> Optional[Dict]:
         return None
 
 
-def _worker_init(src_path: Optional[str]) -> None:
-    """Make the in-tree package importable in spawned workers."""
+def _worker_init(
+    src_path: Optional[str], workload_modules: Sequence[str] = ()
+) -> None:
+    """Make the in-tree package importable in spawned workers.
+
+    ``workload_modules`` are the modules whose import re-registers any
+    custom (non built-in) workloads swept by this exploration: under the
+    ``spawn`` start method each worker holds a fresh registry, so the
+    registrations must be replayed before points resolve.  Import failures
+    are left to surface naturally as per-point UnknownWorkloadError records.
+    """
     if src_path and src_path not in sys.path:
         sys.path.insert(0, src_path)
+    import importlib
+
+    for module in workload_modules:
+        try:
+            importlib.import_module(module)
+        except ImportError:
+            pass
 
 
 def _repo_src_path() -> Optional[str]:
@@ -216,10 +232,13 @@ def explore(
     if workers <= 1 or len(pending) <= 1:
         records.extend(evaluate_point(point, resolved_cache) for point in pending)
     elif pending:
+        from ..workloads import source_modules
+
+        workload_modules = source_modules({p.workload for p in pending})
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(_repo_src_path(),),
+            initargs=(_repo_src_path(), workload_modules),
         ) as pool:
             records.extend(
                 pool.map(

@@ -33,6 +33,7 @@ __all__ = [
     "build_space",
     "polybench_suite",
     "dnn_suite",
+    "suite_from_names",
 ]
 
 
@@ -43,6 +44,11 @@ class DesignPoint:
     workload_kind: str
     workload: str
     batch: int = 1
+    #: Extra registry parameter bindings (e.g. a kernel's problem size) as
+    #: sorted (name, value) pairs; empty for every pre-registry space, and
+    #: omitted from :meth:`to_dict` when empty so point keys (and therefore
+    #: QoR cache identities) are unchanged for existing sweeps.
+    workload_params: tuple = ()
     platform: str = "zu3eg"
     max_parallel_factor: int = 32
     tile_size: int = 16
@@ -59,9 +65,43 @@ class DesignPoint:
     #: stages, per-stage options the flags cannot express).
     pipeline_spec: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        # Normalize JSON-decoded lists back into hashable tuple form.
+        if not isinstance(self.workload_params, tuple):
+            object.__setattr__(
+                self,
+                "workload_params",
+                tuple((k, v) for k, v in self.workload_params),
+            )
+
+    # ---------------------------------------------------------- construction
+    @classmethod
+    def for_workload(cls, workload, **knobs) -> "DesignPoint":
+        """A point for anything the :mod:`repro.workloads` registry resolves.
+
+        ``workload`` may be a registry id (``"resnet18@batch=4"``), a bound
+        :class:`~repro.workloads.Workload` handle or a ``WorkloadSpec``;
+        ``knobs`` are the remaining :class:`DesignPoint` fields.
+        """
+        from ..workloads import get_workload
+
+        spec = get_workload(workload).spec()
+        return cls(
+            workload_kind=spec.kind,
+            workload=spec.name,
+            batch=spec.batch,
+            workload_params=spec.params,
+            **knobs,
+        )
+
     # ------------------------------------------------------------ conversion
     def workload_spec(self) -> WorkloadSpec:
-        return WorkloadSpec(kind=self.workload_kind, name=self.workload, batch=self.batch)
+        return WorkloadSpec(
+            kind=self.workload_kind,
+            name=self.workload,
+            batch=self.batch,
+            params=self.workload_params,
+        )
 
     def options(self) -> HidaOptions:
         from ..hida.functional import default_fusion_patterns
@@ -103,6 +143,11 @@ class DesignPoint:
         if self.pipeline_spec is None:
             # Keep point keys of flag-driven spaces stable across versions.
             data.pop("pipeline_spec")
+        if not self.workload_params:
+            # Same stability contract for unparameterized workloads.
+            data.pop("workload_params")
+        else:
+            data["workload_params"] = [list(pair) for pair in self.workload_params]
         return data
 
     @classmethod
@@ -116,13 +161,14 @@ class DesignPoint:
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
     def label(self) -> str:
+        workload = self.workload_spec().label()
         if self.pipeline_spec is not None:
             spec_tag = hashlib.sha256(
                 self.pipeline_spec.encode("utf-8")
             ).hexdigest()[:6]
-            return f"{self.workload}/{self.platform}/spec-{spec_tag}"
+            return f"{workload}/{self.platform}/spec-{spec_tag}"
         return (
-            f"{self.workload}/{self.platform}"
+            f"{workload}/{self.platform}"
             f"/pf{self.max_parallel_factor}/t{self.tile_size}"
             f"/f{self.top_k_fusion}/ii{self.target_ii}"
         )
@@ -167,15 +213,34 @@ class DesignSpace:
         return f"DesignSpace({len(self)} points)"
 
 
+def _as_workload_spec(workload) -> WorkloadSpec:
+    """Normalize a suite entry (spec, registry id or handle) to a spec."""
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    from ..workloads import get_workload
+
+    return get_workload(workload).spec()
+
+
+def suite_from_names(names: Sequence) -> List[WorkloadSpec]:
+    """A workload suite from registry ids / handles (``["2mm@n=16", ...]``).
+
+    Unknown names raise :class:`repro.workloads.UnknownWorkloadError` with
+    the registered names and a closest-match suggestion.
+    """
+    return [_as_workload_spec(name) for name in names]
+
+
 def polybench_suite() -> List[WorkloadSpec]:
+    """Every registered PolyBench kernel, in Table 7 order."""
     from ..frontend.cpp import kernel_names
 
-    return [WorkloadSpec("kernel", name) for name in kernel_names()]
+    return suite_from_names(kernel_names())
 
 
 def dnn_suite() -> List[WorkloadSpec]:
     """The small end of the paper's DNN zoo (kept tractable for sweeps)."""
-    return [WorkloadSpec("model", name) for name in ("lenet", "mlp")]
+    return suite_from_names(["lenet", "mlp"])
 
 
 #: Per-axis values of each space preset.  Axes cross-multiply per workload.
@@ -203,16 +268,20 @@ SPACE_PRESETS: Dict[str, Dict[str, Sequence]] = {
 
 def build_space(
     preset: str = "small",
-    suite: Optional[Sequence[WorkloadSpec]] = None,
+    suite: Optional[Sequence] = None,
     platforms: Sequence[str] = ("zu3eg",),
     pipeline_specs: Sequence[Optional[str]] = (None,),
 ) -> DesignSpace:
     """Cross product of a preset's axes over a workload suite.
 
-    ``pipeline_specs`` is the pipeline-composition axis: ``None`` entries
-    sweep the preset's per-stage knobs as usual, while textual spec entries
-    add one point per (workload, platform, spec) that compiles through that
-    exact stage sequence (the other knob axes do not apply to it).
+    ``suite`` entries may be :class:`~repro.hida.pipeline.WorkloadSpec`\\ s,
+    registry workload ids (``"resnet18@batch=4"``) or bound
+    :class:`~repro.workloads.Workload` handles — user spaces can name any
+    registered workload.  ``pipeline_specs`` is the pipeline-composition
+    axis: ``None`` entries sweep the preset's per-stage knobs as usual,
+    while textual spec entries add one point per (workload, platform, spec)
+    that compiles through that exact stage sequence (the other knob axes do
+    not apply to it).
     """
     try:
         axes = SPACE_PRESETS[preset]
@@ -220,7 +289,11 @@ def build_space(
         raise ValueError(
             f"unknown space preset {preset!r}; options: {sorted(SPACE_PRESETS)}"
         ) from None
-    suite = list(suite) if suite is not None else polybench_suite()
+    suite = (
+        [_as_workload_spec(entry) for entry in suite]
+        if suite is not None
+        else polybench_suite()
+    )
     space = DesignSpace()
     for spec in suite:
         for platform in platforms:
@@ -231,6 +304,7 @@ def build_space(
                             workload_kind=spec.kind,
                             workload=spec.name,
                             batch=spec.batch,
+                            workload_params=spec.params,
                             platform=platform,
                             pipeline_spec=pipeline_spec,
                         )
@@ -247,6 +321,7 @@ def build_space(
                             workload_kind=spec.kind,
                             workload=spec.name,
                             batch=spec.batch,
+                            workload_params=spec.params,
                             platform=platform,
                             max_parallel_factor=factor,
                             tile_size=tile,

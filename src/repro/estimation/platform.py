@@ -89,8 +89,18 @@ PLATFORMS: Dict[str, Platform] = {
 
 
 def get_platform(name: str) -> Platform:
-    """Look up a platform by name (``pynq-z2``, ``zu3eg``, ``vu9p-slr``)."""
+    """Look up a platform by name (``pynq-z2``, ``zu3eg``, ``vu9p-slr``).
+
+    Resolution goes through the :mod:`repro.targets` registry, so aliases
+    (``vu9p`` -> ``vu9p-slr``) work everywhere a platform name is accepted
+    and unknown names carry closest-match suggestions.  The error remains a
+    ``KeyError`` subclass for pre-registry callers.
+    """
+    if isinstance(name, Platform):
+        return name
     key = name.lower()
-    if key not in PLATFORMS:
-        raise KeyError(f"unknown platform {name!r}; options: {list(PLATFORMS)}")
-    return PLATFORMS[key]
+    if key in PLATFORMS:
+        return PLATFORMS[key]
+    from ..targets import get_target  # deferred: targets imports this module
+
+    return get_target(key).platform

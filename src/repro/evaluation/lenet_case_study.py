@@ -20,8 +20,8 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..estimation.platform import PYNQ_Z2, Platform
-from ..frontend.nn import build_model
 from ..hida.pipeline import CompileResult, HidaOptions, compile_module
+from ..workloads import get_workload
 
 __all__ = [
     "FACTOR_RANGES",
@@ -239,15 +239,19 @@ def compile_hida_lenet(
     parallel_factors: Sequence[int] = (16, 32, 64),
     batches: Sequence[int] = (10, 20),
     platform_name: str = "pynq-z2",
+    workload: str = "lenet",
 ) -> Tuple[float, float, CompileResult]:
     """Compile LeNet with the real HIDA pipeline; pick the best fitting design.
 
-    Returns (throughput in images/s, utilization, compile result).
+    ``workload`` is resolved through the :mod:`repro.workloads` registry, so
+    the same sweep can be pointed at any registered model.  Returns
+    (throughput in images/s, utilization, compile result).
     """
+    handle = get_workload(workload, kind="model")
     best: Optional[Tuple[float, float, CompileResult]] = None
     for batch in batches:
         for factor in parallel_factors:
-            module = build_model("lenet", batch=batch)
+            module = handle.at(batch=batch).build_module()
             options = HidaOptions(
                 platform=platform_name,
                 max_parallel_factor=factor,

@@ -10,11 +10,18 @@ of Table 4 and driving the parallelization example of Tables 5 and 6.
 from __future__ import annotations
 
 from ...ir.builtin import ModuleOp
+from ...workloads import register_workload
 from .kernel_builder import KernelBuilder
 
 __all__ = ["build_listing1"]
 
 
+@register_workload(
+    "listing1",
+    kind="kernel",
+    tags=("listing1", "case-study"),
+    description="The paper's Listing-1 three-node running example (Tables 4-6)",
+)
 def build_listing1() -> ModuleOp:
     """Build the Listing-1 kernel as an affine loop-nest module."""
     kb = KernelBuilder("listing1")

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from ...ir.builtin import ModuleOp
+from ...workloads import register_workload
 from .kernel_builder import KernelBuilder
 
 __all__ = [
@@ -37,6 +38,7 @@ N = 40  # base problem dimension
 TSTEPS = 4  # time steps for stencils
 
 
+@register_workload("2mm", kind="kernel", tags=("polybench", "linear-algebra", "multi-loop"))
 def build_2mm(n: int = N) -> ModuleOp:
     """D := alpha*A*B*C + beta*D (two chained matrix multiplications)."""
     kb = KernelBuilder("2mm")
@@ -60,6 +62,7 @@ def build_2mm(n: int = N) -> ModuleOp:
     return kb.finish()
 
 
+@register_workload("3mm", kind="kernel", tags=("polybench", "linear-algebra", "multi-loop"))
 def build_3mm(n: int = N) -> ModuleOp:
     """G := (A*B) * (C*D) (three matrix multiplications)."""
     kb = KernelBuilder("3mm")
@@ -86,6 +89,7 @@ def build_3mm(n: int = N) -> ModuleOp:
     return kb.finish()
 
 
+@register_workload("atax", kind="kernel", tags=("polybench", "linear-algebra", "multi-loop"))
 def build_atax(n: int = N) -> ModuleOp:
     """y := A^T (A x)."""
     kb = KernelBuilder("atax")
@@ -105,6 +109,7 @@ def build_atax(n: int = N) -> ModuleOp:
     return kb.finish()
 
 
+@register_workload("bicg", kind="kernel", tags=("polybench", "linear-algebra", "single-loop"))
 def build_bicg(n: int = N) -> ModuleOp:
     """s := A^T r ; q := A p (fused into one band -> single-loop kernel)."""
     kb = KernelBuilder("bicg")
@@ -120,6 +125,7 @@ def build_bicg(n: int = N) -> ModuleOp:
     return kb.finish()
 
 
+@register_workload("mvt", kind="kernel", tags=("polybench", "linear-algebra", "multi-loop"))
 def build_mvt(n: int = N) -> ModuleOp:
     """x1 := x1 + A y1 ; x2 := x2 + A^T y2 (two independent bands)."""
     kb = KernelBuilder("mvt")
@@ -136,6 +142,7 @@ def build_mvt(n: int = N) -> ModuleOp:
     return kb.finish()
 
 
+@register_workload("gesummv", kind="kernel", tags=("polybench", "blas", "single-loop"))
 def build_gesummv(n: int = N) -> ModuleOp:
     """y := alpha*A*x + beta*B*x (single band)."""
     kb = KernelBuilder("gesummv")
@@ -154,6 +161,7 @@ def build_gesummv(n: int = N) -> ModuleOp:
     return kb.finish()
 
 
+@register_workload("correlation", kind="kernel", tags=("polybench", "data-mining", "multi-loop"))
 def build_correlation(n: int = N) -> ModuleOp:
     """Correlation matrix of an (n x n) data set (mean, stddev, normalize, corr)."""
     kb = KernelBuilder("correlation")
@@ -181,6 +189,7 @@ def build_correlation(n: int = N) -> ModuleOp:
     return kb.finish()
 
 
+@register_workload("jacobi-2d", kind="kernel", tags=("polybench", "stencil", "multi-loop"))
 def build_jacobi_2d(n: int = N, tsteps: int = TSTEPS) -> ModuleOp:
     """2-D Jacobi stencil alternating between arrays A and B."""
     kb = KernelBuilder("jacobi-2d")
@@ -210,6 +219,7 @@ def build_jacobi_2d(n: int = N, tsteps: int = TSTEPS) -> ModuleOp:
     return kb.finish()
 
 
+@register_workload("seidel-2d", kind="kernel", tags=("polybench", "stencil", "single-loop"))
 def build_seidel_2d(n: int = N, tsteps: int = TSTEPS) -> ModuleOp:
     """2-D Gauss-Seidel stencil (loop-carried dependences, single band)."""
     kb = KernelBuilder("seidel-2d")
@@ -232,6 +242,7 @@ def build_seidel_2d(n: int = N, tsteps: int = TSTEPS) -> ModuleOp:
     return kb.finish()
 
 
+@register_workload("symm", kind="kernel", tags=("polybench", "blas", "single-loop"))
 def build_symm(n: int = N) -> ModuleOp:
     """Symmetric matrix multiply C := alpha*A*B + beta*C (single band)."""
     kb = KernelBuilder("symm")
@@ -249,6 +260,7 @@ def build_symm(n: int = N) -> ModuleOp:
     return kb.finish()
 
 
+@register_workload("syr2k", kind="kernel", tags=("polybench", "blas", "single-loop"))
 def build_syr2k(n: int = N) -> ModuleOp:
     """Symmetric rank-2k update C := alpha*(A*B^T + B*A^T) + beta*C (single band)."""
     kb = KernelBuilder("syr2k")
@@ -301,7 +313,12 @@ def kernel_names() -> List[str]:
 
 
 def build_kernel(name: str) -> ModuleOp:
-    """Build a PolyBench kernel module by name."""
-    if name not in POLYBENCH_KERNELS:
-        raise KeyError(f"unknown PolyBench kernel {name!r}; options: {kernel_names()}")
-    return POLYBENCH_KERNELS[name]()
+    """Build a PolyBench kernel module by name.
+
+    .. deprecated:: thin wrapper over the :mod:`repro.workloads` registry —
+       new code should use ``get_workload(name).build_module()``, which also
+       understands parameterized ids like ``"2mm@n=16"``.
+    """
+    from ...workloads import get_workload
+
+    return get_workload(name, kind="kernel").build_module()

@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ...ir.builtin import ModuleOp
-from ...ir.types import Type, f32, i8
+from ...ir.types import Type, i8
+from ...workloads import register_workload
 from .module import (
     Add,
     AvgPool2d,
@@ -26,7 +27,6 @@ from .module import (
     Sequential,
     Tensor,
 )
-from .tracer import trace
 
 __all__ = [
     "LeNet",
@@ -43,6 +43,13 @@ __all__ = [
 ]
 
 
+@register_workload(
+    "lenet",
+    kind="model",
+    input_shape=(1, 28, 28),
+    tags=("dnn-zoo", "case-study"),
+    description="LeNet-5 CNN, 28x28 grayscale (Section 2 case study, Table 8)",
+)
 class LeNet(Module):
     """LeNet-5 style CNN for 28x28 grayscale inputs (Section 2 case study).
 
@@ -100,6 +107,13 @@ class _BasicBlock(Module):
         return self.relu2(out)
 
 
+@register_workload(
+    "resnet18",
+    kind="model",
+    input_shape=(3, 224, 224),
+    tags=("dnn-zoo",),
+    description="ResNet-18, 224x224 RGB, shortcut data paths (Table 8)",
+)
 class ResNet18(Module):
     """ResNet-18 for 224x224 RGB inputs (shortcut data paths)."""
 
@@ -147,6 +161,13 @@ class _DepthwiseSeparable(Module):
         return self.relu2(self.bn2(self.pw(x)))
 
 
+@register_workload(
+    "mobilenet",
+    kind="model",
+    input_shape=(3, 224, 224),
+    tags=("dnn-zoo",),
+    description="MobileNetV1, depthwise-separable convolutions (Table 8)",
+)
 class MobileNet(Module):
     """MobileNetV1 (width multiplier 1.0) for 224x224 inputs."""
 
@@ -187,6 +208,13 @@ class MobileNet(Module):
         return self.fc(x)
 
 
+@register_workload(
+    "zfnet",
+    kind="model",
+    input_shape=(3, 224, 224),
+    tags=("dnn-zoo",),
+    description="ZFNet, irregular 7x7/5x5 convolutions (Table 8)",
+)
 class ZFNet(Module):
     """ZFNet for 224x224 inputs (irregular convolution sizes: 7x7, 5x5)."""
 
@@ -222,6 +250,13 @@ class ZFNet(Module):
         return self.classifier(x)
 
 
+@register_workload(
+    "vgg16",
+    kind="model",
+    input_shape=(3, 224, 224),
+    tags=("dnn-zoo",),
+    description="VGG-16, deep uniform 3x3 convolution stacks (Table 8)",
+)
 class VGG16(Module):
     """VGG-16 for 224x224 inputs."""
 
@@ -258,6 +293,13 @@ class VGG16(Module):
         return self.classifier(x)
 
 
+@register_workload(
+    "yolo",
+    kind="model",
+    input_shape=(3, 416, 416),
+    tags=("dnn-zoo",),
+    description="Tiny-YOLO style detector on 416x416 inputs (Table 8)",
+)
 class YOLO(Module):
     """A Tiny-YOLO style single-shot detector on high-resolution inputs."""
 
@@ -290,6 +332,16 @@ class YOLO(Module):
         return self.head(x)
 
 
+@register_workload(
+    "mlp",
+    kind="model",
+    input_shape=(784,),
+    tags=("dnn-zoo",),
+    # in_features is coupled to input_shape, so only num_classes is an
+    # addressable parameter.
+    expose=("num_classes",),
+    description="Fully-connected network on 784-dim inputs (Table 8)",
+)
 class MLP(Module):
     """A fully-connected network for 784-dimensional inputs."""
 
@@ -341,14 +393,18 @@ def model_names() -> List[str]:
 def build_model(name: str, batch: int = 1, element_type: Type = i8) -> ModuleOp:
     """Instantiate and trace a model from the zoo at the given batch size.
 
+    .. deprecated:: thin wrapper over the :mod:`repro.workloads` registry —
+       new code should use ``get_workload(name).at(batch=...).build_module()``,
+       which also understands parameterized ids like ``"resnet18@batch=4"``.
+
     Models default to 8-bit integer activations and weights, matching the
     post-training quantization typically applied before FPGA deployment (and
     the low-precision MAC mapping discussed in the paper's DSP-efficiency
     analysis); pass ``element_type=f32`` for single-precision models.
     """
-    key = name.lower()
-    if key not in MODEL_ZOO:
-        raise KeyError(f"unknown model {name!r}; options: {model_names()}")
-    model = MODEL_ZOO[key]()
-    input_shape = (batch, *MODEL_INPUT_SHAPES[key])
-    return trace(model, input_shape, name=key, element_type=element_type)
+    from ...workloads import get_workload
+
+    handle = get_workload(name, kind="model")
+    if batch != 1:
+        handle = handle.at(batch=batch)
+    return handle.build_module(element_type=element_type)

@@ -29,7 +29,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..dialects.dataflow import ScheduleOp
 from ..estimation.platform import Platform, get_platform
@@ -197,45 +197,66 @@ class WorkloadSpec:
 
     Design-space exploration fans compilations out to worker processes, and
     IR modules do not pickle (they are densely linked object graphs).  A
-    workload spec carries only the recipe — frontend kind plus workload name
-    — and each worker rebuilds the module locally with :meth:`build`, which
-    is deterministic and cheap relative to the pipeline itself.
+    workload spec is the thin serialization of a :mod:`repro.workloads`
+    registry handle: it carries only the recipe — frontend kind, registered
+    workload name and parameter bindings — and each worker rebuilds the
+    module locally with :meth:`build`, which resolves through the registry
+    and is deterministic and cheap relative to the pipeline itself.
     """
 
     #: ``"kernel"`` (PolyBench C++ frontend) or ``"model"`` (nn frontend).
     kind: str
-    #: Kernel or model name understood by the corresponding frontend.
+    #: Registered workload name (see :func:`repro.workloads.list_workloads`).
     name: str
     #: Batch size (models only).
     batch: int = 1
+    #: Extra registry parameter bindings beyond ``batch`` (e.g. a kernel's
+    #: problem size), as sorted (name, value) pairs so specs stay hashable.
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize JSON-decoded lists back into hashable tuple form.
+        if not isinstance(self.params, tuple):
+            object.__setattr__(
+                self, "params", tuple((k, v) for k, v in self.params)
+            )
+
+    def workload(self):
+        """The bound :class:`repro.workloads.Workload` handle of this spec."""
+        if self.kind not in ("kernel", "model"):
+            raise ValueError(f"unknown workload kind {self.kind!r}")
+        from ..workloads import get_workload
+
+        return get_workload(self)
 
     def build(self) -> ModuleOp:
-        if self.kind == "kernel":
-            from ..frontend.cpp import build_kernel
-
-            return build_kernel(self.name)
-        if self.kind == "model":
-            from ..frontend.nn import build_model
-
-            return build_model(self.name, batch=self.batch)
-        raise ValueError(f"unknown workload kind {self.kind!r}")
+        return self.workload().build_module()
 
     def label(self) -> str:
+        suffix = "".join(f"+{k}{v}" for k, v in self.params)
         if self.kind == "model" and self.batch != 1:
-            return f"{self.name}@b{self.batch}"
-        return self.name
+            return f"{self.name}@b{self.batch}{suffix}"
+        return f"{self.name}{suffix}"
 
 
 def compile_workload(
-    spec: WorkloadSpec, options: Optional[HidaOptions] = None
+    spec: Union[WorkloadSpec, str], options: Optional[HidaOptions] = None
 ) -> CompileResult:
     """Build a workload from its spec and run the full HIDA pipeline.
 
     This is the option-driven entry point used by DSE workers: both
     arguments are picklable, so the call can cross a process boundary, and
-    the module is constructed inside the worker.
+    the module is constructed inside the worker.  ``spec`` may also be a
+    registry workload id (``"resnet18@batch=4"``) or a bound
+    :class:`repro.workloads.Workload` handle.
     """
-    return compile_module(spec.build(), options)
+    if isinstance(spec, WorkloadSpec):
+        module = spec.build()
+    else:
+        from ..workloads import as_module
+
+        module = as_module(spec)
+    return compile_module(module, options)
 
 
 #: Stage-timing buckets the pre-refactor monolithic driver always recorded,
