@@ -7,17 +7,42 @@ pipeline into that search engine:
 * :mod:`repro.dse.space` — design points and preset design spaces;
 * :mod:`repro.dse.cache` — persistent content-hash QoR cache;
 * :mod:`repro.dse.runner` — process-parallel exploration driver;
-* :mod:`repro.dse.pareto` — Pareto-frontier extraction over QoR records;
+* :mod:`repro.dse.pareto` — Pareto frontier + hypervolume over QoR records;
+* :mod:`repro.dse.search` — pluggable adaptive search strategies
+  (exhaustive / random / genetic / anneal over knob axes *and* pipeline
+  composition);
 * ``python -m repro.dse`` — the command-line sweep driver.
 """
 
 from .cache import QoRCache, default_cache_dir
-from .pareto import DEFAULT_OBJECTIVES, objective_vector, pareto_frontier
+from .pareto import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVE_DIRECTIONS,
+    hypervolume,
+    hypervolume_reference,
+    objective_direction,
+    objective_vector,
+    pareto_frontier,
+)
 from .runner import evaluate_point, explore
+from .search import (
+    AnnealSearch,
+    ExhaustiveSearch,
+    GeneticSearch,
+    RandomSearch,
+    SearchStrategy,
+    available_strategies,
+    crossover_specs,
+    get_strategy,
+    make_strategy,
+    mutate_spec,
+    register_strategy,
+)
 from .space import (
     SPACE_PRESETS,
     DesignPoint,
     DesignSpace,
+    axis_domains,
     build_space,
     dnn_suite,
     polybench_suite,
@@ -27,13 +52,29 @@ __all__ = [
     "QoRCache",
     "default_cache_dir",
     "DEFAULT_OBJECTIVES",
+    "OBJECTIVE_DIRECTIONS",
+    "hypervolume",
+    "hypervolume_reference",
+    "objective_direction",
     "objective_vector",
     "pareto_frontier",
     "evaluate_point",
     "explore",
+    "AnnealSearch",
+    "ExhaustiveSearch",
+    "GeneticSearch",
+    "RandomSearch",
+    "SearchStrategy",
+    "available_strategies",
+    "crossover_specs",
+    "get_strategy",
+    "make_strategy",
+    "mutate_spec",
+    "register_strategy",
     "SPACE_PRESETS",
     "DesignPoint",
     "DesignSpace",
+    "axis_domains",
     "build_space",
     "dnn_suite",
     "polybench_suite",

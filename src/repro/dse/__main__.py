@@ -8,6 +8,8 @@ Examples::
     python -m repro.dse --space small --dry-run
     python -m repro.dse --space full --sample 64 --seed 7 --json sweep.json
     python -m repro.dse --space full --resume --json partial.json
+    python -m repro.dse --space full --strategy genetic --budget 200 --workers 8
+    python -m repro.dse --space medium --strategy anneal --budget 64 --seed 3
     python -m repro.dse --pipeline-spec "construct-dataflow,lower-structural,parallelize{factor=8},estimate"
     python -m repro.dse --clear-cache
 """
@@ -23,6 +25,7 @@ from ..workloads import UnknownWorkloadError
 from .cache import QoRCache, default_cache_dir
 from .pareto import DEFAULT_OBJECTIVES, SUMMARY_METRICS
 from .runner import explore
+from .search import available_strategies
 from .space import (
     SPACE_PRESETS,
     build_space,
@@ -87,13 +90,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seeded subsample of N points from the space (0 = all)",
     )
     parser.add_argument(
-        "--seed", type=int, default=0, help="sampling seed (default: 0)"
+        "--seed",
+        type=int,
+        default=0,
+        help="sampling / search seed (default: 0)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=available_strategies(),
+        default=None,
+        help="adaptive search instead of the full sweep "
+        "(genetic and anneal also search pipeline composition)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=0,
+        metavar="N",
+        help="max distinct design points a --strategy run evaluates "
+        "(cache hits count but cost no compile; 0 = space size)",
+    )
+    parser.add_argument(
+        "--generations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cap --strategy generations (0 = run until the budget)",
+    )
+    parser.add_argument(
+        "--mutation-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-axis mutation probability for --strategy genetic",
+    )
+    parser.add_argument(
+        "--population",
+        type=int,
+        default=None,
+        metavar="N",
+        help="offspring batch size for --strategy genetic",
     )
     parser.add_argument(
         "--objectives",
         default=",".join(DEFAULT_OBJECTIVES),
-        help="comma-separated minimized summary metrics "
-        f"(default: {','.join(DEFAULT_OBJECTIVES)})",
+        help="comma-separated summary metrics, each optimized in its "
+        "natural direction (throughput is maximized, everything else "
+        f"minimized; default: {','.join(DEFAULT_OBJECTIVES)})",
     )
     parser.add_argument(
         "--cache-dir",
@@ -144,6 +187,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--sample must be non-negative (got {args.sample})")
     if args.workers < 0:
         parser.error(f"--workers must be non-negative (got {args.workers})")
+    if args.budget < 0:
+        parser.error(f"--budget must be non-negative (got {args.budget})")
+    if args.generations < 0:
+        parser.error(f"--generations must be non-negative (got {args.generations})")
+    if args.strategy is None and (
+        args.budget
+        or args.generations
+        or args.mutation_rate is not None
+        or args.population is not None
+    ):
+        parser.error(
+            "--budget/--generations/--mutation-rate/--population need --strategy"
+        )
+    if args.strategy and args.resume:
+        parser.error("--resume replays the whole space; drop --strategy")
+    strategy_options = {}
+    if args.generations:
+        strategy_options["generations"] = args.generations
+    if args.mutation_rate is not None:
+        if args.strategy != "genetic":
+            parser.error("--mutation-rate applies to --strategy genetic")
+        if not 0.0 <= args.mutation_rate <= 1.0:
+            parser.error(
+                f"--mutation-rate must be in [0, 1] (got {args.mutation_rate})"
+            )
+        strategy_options["mutation_rate"] = args.mutation_rate
+    if args.population is not None:
+        if args.strategy != "genetic":
+            parser.error("--population applies to --strategy genetic")
+        if args.population < 1:
+            parser.error(f"--population must be >= 1 (got {args.population})")
+        strategy_options["population"] = args.population
 
     if args.list_workloads:
         from ..workloads import iter_workloads
@@ -206,6 +281,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{len(space)} design points "
             f"({args.space} space, {suite_label}, platforms: {', '.join(platforms)})"
         )
+        if args.strategy:
+            print(
+                f"(--strategy {args.strategy} would evaluate at most "
+                f"{args.budget or len(space)} of these, adaptively chosen; "
+                "this listing is the full space)"
+            )
         for point in space:
             print(f"  {point.label()}  [{point.key()}]")
         return 0
@@ -223,8 +304,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         use_cache=not args.no_cache,
         objectives=objectives,
         resume=args.resume,
+        strategy=args.strategy,
+        budget=args.budget or None,
+        # Without a strategy --seed only steers --sample (handled above).
+        seed=args.seed if args.strategy else 0,
+        strategy_options=strategy_options or None,
     )
 
+    if result.strategy:
+        print()
+        print(result.search_table())
     print()
     print(result.frontier_table(max_rows=args.top))
     stats = result.summary()
@@ -234,6 +323,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"({result.points_per_second:.1f} points/s) — "
         f"{result.num_cached} from cache, {int(stats['errors'])} errors"
         + (f", {result.skipped} skipped (--resume)" if result.skipped else "")
+        + (
+            f"; strategy {result.strategy}: {result.num_points}/{result.budget} "
+            f"budget in {len(result.generations)} generation(s)"
+            if result.strategy
+            else ""
+        )
     )
     if result.errors:
         for record in result.errors[:3]:

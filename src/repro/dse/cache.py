@@ -130,7 +130,9 @@ class QoRCache:
                 stamped.append((path.stat().st_mtime, path))
             except OSError:
                 continue
-        stamped.sort(key=lambda item: item[0])
+        # Coarse filesystem timestamps tie constantly under parallel workers;
+        # tiebreak on the path so every worker deletes the same entries.
+        stamped.sort(key=lambda item: (item[0], str(item[1])))
         for _, stale in stamped[: len(stamped) - self.max_entries]:
             try:
                 stale.unlink()

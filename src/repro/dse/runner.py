@@ -11,6 +11,14 @@ orchestrating process never unpickles IR either.
 Determinism: records are re-ordered to the input point order after the
 parallel map, and the Pareto extraction sorts by objective vector, so the
 frontier is identical for any worker count.
+
+``explore(strategy=...)`` switches from the one-shot full sweep to an
+adaptive search (see :mod:`repro.dse.search`): the strategy proposes
+batches of points, each batch runs through the same cache-aware fan-out,
+and the observed records steer the next batch.  ``budget`` bounds the
+number of distinct points evaluated; cache hits cost no compile time but
+count toward the budget, so cold and warm runs follow identical
+trajectories.
 """
 
 from __future__ import annotations
@@ -26,7 +34,13 @@ from ..estimation.qor import QoREstimator
 from ..evaluation.reporting import ExplorationResult
 from ..ir.printer import fingerprint_op
 from .cache import QoRCache
-from .pareto import DEFAULT_OBJECTIVES, SUMMARY_METRICS, pareto_frontier
+from .pareto import (
+    DEFAULT_OBJECTIVES,
+    SUMMARY_METRICS,
+    hypervolume,
+    hypervolume_reference,
+    pareto_frontier,
+)
 from .space import DesignPoint, DesignSpace
 
 __all__ = ["evaluate_point", "explore"]
@@ -171,49 +185,37 @@ def _repo_src_path() -> Optional[str]:
     return path if os.path.isdir(path) else None
 
 
-def explore(
-    space: Union[DesignSpace, Sequence[DesignPoint]],
-    workers: int = 1,
-    cache_dir: Optional[str] = None,
-    use_cache: bool = True,
-    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
-    chunksize: int = 4,
-    group_by_workload: bool = True,
-    resume: bool = False,
-) -> ExplorationResult:
-    """Evaluate every point of ``space`` and extract the Pareto frontier.
+def _make_pool(workers: int, points: Sequence[DesignPoint]) -> ProcessPoolExecutor:
+    """An executor whose workers can resolve every workload of ``points``.
 
-    ``workers <= 1`` runs serially in-process (easier profiling/debugging);
-    anything larger uses a :class:`ProcessPoolExecutor`.  With caching on
-    (the default) each evaluated point is persisted under ``cache_dir`` (or
-    the default cache root), making overlapping sweeps and re-runs nearly
-    free.
-
-    With ``resume`` the sweep never compiles: points already in the QoR
-    cache stream straight into the result and every uncached point is
-    *skipped* (counted in ``ExplorationResult.skipped``) — the way to turn
-    an interrupted sweep's partial cache into an output JSON without
-    recomputation.
-
-    With ``group_by_workload`` (the default) the frontier is the union of
-    per-workload frontiers — latency trade-offs only make sense between
-    designs of the *same* computation; set it to False for a single global
-    frontier when sweeping one workload under many configurations.
+    Worker processes spawn lazily (on first submit), so creating the pool
+    up front costs nothing on fully-cached runs.
     """
-    points: List[DesignPoint] = list(space)
-    unknown = [name for name in objectives if name not in SUMMARY_METRICS]
-    if unknown or not list(objectives):
-        raise ValueError(
-            f"unknown objective(s) {unknown or '(none)'}; "
-            f"choose from {SUMMARY_METRICS}"
-        )
-    if resume and not use_cache:
-        raise ValueError("resume=True requires the QoR cache (use_cache=True)")
-    resolved_cache: Optional[str] = None
-    if use_cache:
-        resolved_cache = str(cache_dir) if cache_dir else str(QoRCache().root)
+    from ..workloads import source_modules
 
-    started = time.perf_counter()
+    workload_modules = source_modules({p.workload for p in points})
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(_repo_src_path(), workload_modules),
+    )
+
+
+def _evaluate_batch(
+    points: Sequence[DesignPoint],
+    workers: int,
+    resolved_cache: Optional[str],
+    chunksize: int,
+    resume: bool = False,
+    pool: Optional[ProcessPoolExecutor] = None,
+) -> tuple:
+    """Evaluate one batch of points; records come back in batch order.
+
+    Cache hits replay in the parent process (no pool startup on warm
+    batches); the rest fan out across ``pool`` (or a batch-local pool when
+    none is shared).  Returns ``(records, skipped)`` where ``skipped``
+    counts uncached points a ``resume`` run left unevaluated.
+    """
     records: List[Dict] = []
     pending: List[DesignPoint] = []
     if resolved_cache:
@@ -224,7 +226,7 @@ def explore(
             else:
                 pending.append(point)
     else:
-        pending = points
+        pending = list(points)
     skipped = 0
     if resume:
         skipped = len(pending)
@@ -232,40 +234,246 @@ def explore(
     if workers <= 1 or len(pending) <= 1:
         records.extend(evaluate_point(point, resolved_cache) for point in pending)
     elif pending:
-        from ..workloads import source_modules
-
-        workload_modules = source_modules({p.workload for p in pending})
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(_repo_src_path(), workload_modules),
-        ) as pool:
+        def fan_out(executor: ProcessPoolExecutor) -> None:
             records.extend(
-                pool.map(
+                executor.map(
                     evaluate_point,
                     pending,
                     [resolved_cache] * len(pending),
                     chunksize=max(1, chunksize),
                 )
             )
-    elapsed = time.perf_counter() - started
 
-    # ``pool.map`` already preserves order; re-sort defensively by the input
+        if pool is not None:
+            fan_out(pool)
+        else:
+            with _make_pool(workers, pending) as local_pool:
+                fan_out(local_pool)
+    # ``pool.map`` already preserves order; re-sort defensively by the batch
     # point order so downstream consumers can rely on it.
     order = {point.key(): index for index, point in enumerate(points)}
     records.sort(key=lambda r: order.get(r.get("point_key"), len(order)))
+    return records, skipped
+
+
+def _by_workload(records: Sequence[Dict]) -> Dict[str, List[Dict]]:
+    groups: Dict[str, List[Dict]] = {}
+    for record in records:
+        groups.setdefault(str(record.get("workload", "")), []).append(record)
+    return groups
+
+
+def _grouped_frontier(
+    scored: Sequence[Dict], objectives: Sequence[str], group_by_workload: bool
+) -> List[Dict]:
+    if not group_by_workload:
+        return pareto_frontier(scored, objectives)
+    groups = _by_workload(scored)
+    frontier: List[Dict] = []
+    for name in sorted(groups):
+        frontier.extend(pareto_frontier(groups[name], objectives))
+    return frontier
+
+
+def _hv_references(
+    scored: Sequence[Dict], objectives: Sequence[str], group_by_workload: bool
+) -> Dict[str, Optional[tuple]]:
+    """Per-group hypervolume reference points derived from ``scored``."""
+    if not group_by_workload:
+        return {"": hypervolume_reference(scored, objectives)}
+    groups = _by_workload(scored)
+    return {
+        name: hypervolume_reference(groups[name], objectives) for name in groups
+    }
+
+
+def _grouped_hypervolume(
+    scored: Sequence[Dict],
+    objectives: Sequence[str],
+    group_by_workload: bool,
+    references: Dict[str, Optional[tuple]],
+) -> float:
+    """Summed per-group hypervolume against fixed per-group references.
+
+    The references come from :func:`_hv_references` over the *final* record
+    set, so per-generation values within a run form a comparable
+    (non-decreasing) trajectory; cross-run comparisons should still derive
+    one shared reference externally.
+    """
+    if not group_by_workload:
+        reference = references.get("")
+        return hypervolume(scored, objectives, reference) if reference else 0.0
+    groups = _by_workload(scored)
+    total = 0.0
+    for name in sorted(groups):
+        reference = references.get(name)
+        if reference is not None:
+            total += hypervolume(groups[name], objectives, reference)
+    return total
+
+
+def explore(
+    space: Union[DesignSpace, Sequence[DesignPoint]],
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    chunksize: int = 4,
+    group_by_workload: bool = True,
+    resume: bool = False,
+    strategy=None,
+    budget: Optional[int] = None,
+    seed: int = 0,
+    strategy_options: Optional[Dict] = None,
+) -> ExplorationResult:
+    """Evaluate ``space`` (fully or via a search strategy) and extract the
+    Pareto frontier.
+
+    ``workers <= 1`` runs serially in-process (easier profiling/debugging);
+    anything larger uses a :class:`ProcessPoolExecutor`.  With caching on
+    (the default) each evaluated point is persisted under ``cache_dir`` (or
+    the default cache root), making overlapping sweeps and re-runs nearly
+    free.
+
+    ``strategy`` picks an adaptive search instead of the full sweep: a
+    registered name (``"exhaustive"``, ``"random"``, ``"genetic"``,
+    ``"anneal"``) or a :class:`~repro.dse.search.SearchStrategy` instance.
+    ``budget`` caps the number of distinct points evaluated (default: the
+    space size), ``seed`` fixes the search trajectory, and
+    ``strategy_options`` passes strategy-specific knobs (``population``,
+    ``mutation_rate``, ``generations``, ``chains``, ...).  Per-generation
+    progress lands in ``ExplorationResult.generations``.
+
+    With ``resume`` the sweep never compiles: points already in the QoR
+    cache stream straight into the result and every uncached point is
+    *skipped* (counted in ``ExplorationResult.skipped``) — the way to turn
+    an interrupted sweep's partial cache into an output JSON without
+    recomputation.  ``resume`` is a replay of the *whole* space, so it is
+    incompatible with ``strategy``.
+
+    With ``group_by_workload`` (the default) the frontier is the union of
+    per-workload frontiers — latency trade-offs only make sense between
+    designs of the *same* computation; set it to False for a single global
+    frontier when sweeping one workload under many configurations.
+    """
+    points: List[DesignPoint] = []
+    seen_keys = set()
+    for point in space:
+        # Dedupe by identity up front: duplicate points would collapse into
+        # one slot of the order-restoring sort and interleave cached/fresh
+        # results nondeterministically.
+        key = point.key()
+        if key not in seen_keys:
+            seen_keys.add(key)
+            points.append(point)
+    unknown = [name for name in objectives if name not in SUMMARY_METRICS]
+    if unknown or not list(objectives):
+        raise ValueError(
+            f"unknown objective(s) {unknown or '(none)'}; "
+            f"choose from {SUMMARY_METRICS}"
+        )
+    if resume and not use_cache:
+        raise ValueError("resume=True requires the QoR cache (use_cache=True)")
+    if resume and strategy is not None:
+        raise ValueError("resume replays the whole space; drop strategy=...")
+    if strategy is None and (budget is not None or seed or strategy_options):
+        raise ValueError(
+            "budget/seed/strategy_options have no effect without strategy=... "
+            "(the full sweep evaluates every point)"
+        )
+    resolved_cache: Optional[str] = None
+    if use_cache:
+        resolved_cache = str(cache_dir) if cache_dir else str(QoRCache().root)
+
+    started = time.perf_counter()
+    strategy_name: Optional[str] = None
+    generations: List[Dict] = []
+    if strategy is None:
+        records, skipped = _evaluate_batch(
+            points, workers, resolved_cache, chunksize, resume
+        )
+    else:
+        from .search import SearchStrategy, make_strategy
+
+        if isinstance(strategy, SearchStrategy):
+            if budget is not None or seed or strategy_options:
+                raise ValueError(
+                    "budget/seed/strategy_options belong to the "
+                    "SearchStrategy constructor when explore() is handed "
+                    "an instance"
+                )
+            if tuple(strategy.objectives) != tuple(objectives):
+                raise ValueError(
+                    f"strategy steers on objectives {strategy.objectives} "
+                    f"but explore() would report on {tuple(objectives)}; "
+                    "pass the same objectives to both"
+                )
+            searcher = strategy
+        else:
+            searcher = make_strategy(
+                str(strategy),
+                points,
+                objectives=objectives,
+                budget=budget,
+                seed=seed,
+                options=strategy_options,
+            )
+        strategy_name = searcher.name
+        budget = searcher.budget
+        records = []
+        skipped = 0
+        # One shared pool across generations: the per-batch fan-out would
+        # otherwise respawn workers (and replay their imports) every
+        # generation.  Strategies never mutate workload axes, so the
+        # space's workload set covers every batch.
+        pool = _make_pool(workers, points) if workers > 1 else None
+        try:
+            while len(records) < budget:
+                batch = searcher.propose(budget - len(records))
+                if not batch:
+                    break
+                batch = batch[: budget - len(records)]
+                batch_records, _ = _evaluate_batch(
+                    batch, workers, resolved_cache, chunksize, pool=pool
+                )
+                searcher.observe(batch_records)
+                records.extend(batch_records)
+                scored_so_far = [r for r in records if "error" not in r]
+                generations.append(
+                    {
+                        "generation": len(generations),
+                        "evaluated": len(batch_records),
+                        "total_evaluations": len(records),
+                        "frontier_size": len(
+                            _grouped_frontier(
+                                scored_so_far, objectives, group_by_workload
+                            )
+                        ),
+                    }
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        # Hypervolume per generation is filled in against references fixed
+        # by the final record set — re-deriving the reference mid-run would
+        # make consecutive rows incomparable (it expands whenever a new
+        # worst extreme is observed).
+        final_scored = [r for r in records if "error" not in r]
+        references = _hv_references(final_scored, objectives, group_by_workload)
+        for generation in generations:
+            prefix = [
+                r
+                for r in records[: generation["total_evaluations"]]
+                if "error" not in r
+            ]
+            generation["hypervolume"] = _grouped_hypervolume(
+                prefix, objectives, group_by_workload, references
+            )
+    elapsed = time.perf_counter() - started
 
     errors = [r for r in records if "error" in r]
     scored = [r for r in records if "error" not in r]
-    if group_by_workload:
-        groups: Dict[str, List[Dict]] = {}
-        for record in scored:
-            groups.setdefault(str(record.get("workload", "")), []).append(record)
-        frontier = []
-        for name in sorted(groups):
-            frontier.extend(pareto_frontier(groups[name], objectives))
-    else:
-        frontier = pareto_frontier(scored, objectives)
+    frontier = _grouped_frontier(scored, objectives, group_by_workload)
     return ExplorationResult(
         records=records,
         frontier=frontier,
@@ -276,4 +484,7 @@ def explore(
         cache_misses=sum(1 for r in records if not r.get("cached")),
         errors=errors,
         skipped=skipped,
+        strategy=strategy_name,
+        budget=budget if strategy_name is not None else None,
+        generations=generations,
     )

@@ -85,6 +85,14 @@ class ExplorationResult:
     errors: List[Dict] = dataclasses.field(default_factory=list)
     #: Points left unevaluated by a ``--resume`` replay (not in the cache).
     skipped: int = 0
+    #: Search-strategy name when the run was adaptive (None = full sweep).
+    strategy: Optional[str] = None
+    #: Evaluation budget of the search (distinct points; cache hits count).
+    budget: Optional[int] = None
+    #: Per-generation search progress: generation index, points evaluated
+    #: that generation, cumulative evaluations vs budget, frontier size and
+    #: (informational, run-internal) frontier hypervolume.
+    generations: List[Dict] = dataclasses.field(default_factory=list)
 
     @property
     def num_points(self) -> int:
@@ -105,12 +113,18 @@ class ExplorationResult:
         return [str(record.get("point_key", "")) for record in self.frontier]
 
     def best_by(self, metric: str, minimize: bool = True) -> Optional[Dict]:
-        if not self.records:
+        # Records missing the metric (errored points, partial summaries)
+        # are ignored rather than scored 0.0 — a 0.0 default would make an
+        # errored record "win" every minimization.
+        scored = [
+            r
+            for r in self.records
+            if r.get("summary", {}).get(metric) is not None
+        ]
+        if not scored:
             return None
         chooser = min if minimize else max
-        return chooser(
-            self.records, key=lambda r: float(r.get("summary", {}).get(metric, 0.0))
-        )
+        return chooser(scored, key=lambda r: float(r["summary"][metric]))
 
     # -------------------------------------------------------------- rendering
     def frontier_table(self, max_rows: int = 0) -> str:
@@ -134,6 +148,23 @@ class ExplorationResult:
             f"objectives: {', '.join(self.objectives)})"
         )
         return format_table(headers, rows, title)
+
+    def search_table(self) -> str:
+        """Per-generation progress of an adaptive search run."""
+        headers = ["gen", "evaluated", "total/budget", "frontier", "hypervolume"]
+        rows = [
+            [
+                generation.get("generation"),
+                generation.get("evaluated"),
+                f"{generation.get('total_evaluations')}/{self.budget}",
+                generation.get("frontier_size"),
+                generation.get("hypervolume"),
+            ]
+            for generation in self.generations
+        ]
+        return format_table(
+            headers, rows, f"Search progress (strategy: {self.strategy})"
+        )
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -161,6 +192,9 @@ class ExplorationResult:
             "cache_misses": self.cache_misses,
             "errors": self.errors,
             "skipped": self.skipped,
+            "strategy": self.strategy,
+            "budget": self.budget,
+            "generations": self.generations,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -178,4 +212,7 @@ class ExplorationResult:
             cache_misses=int(data.get("cache_misses", 0)),
             errors=list(data.get("errors", [])),
             skipped=int(data.get("skipped", 0)),
+            strategy=data.get("strategy"),
+            budget=data.get("budget"),
+            generations=list(data.get("generations", [])),
         )

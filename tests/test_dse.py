@@ -99,6 +99,54 @@ def test_workload_spec_builds_and_compiles():
 
 
 # ------------------------------------------------------------------- pareto
+def test_pareto_missing_metric_scores_worst_not_zero():
+    # Regression: a record whose summary lacks an objective used to default
+    # to 0.0 and spuriously dominate the minimization frontier.
+    from repro.dse import objective_vector
+
+    incomplete = {"point_key": "x", "summary": {"latency_cycles": 1}}
+    complete = {
+        "point_key": "y",
+        "summary": {"latency_cycles": 9, "dsp": 5, "bram": 1},
+    }
+    assert objective_vector(incomplete) == (1.0, float("inf"), float("inf"))
+    frontier = pareto_frontier([incomplete, complete])
+    keys = [r["point_key"] for r in frontier]
+    # The incomplete record survives only on the axis it actually reports;
+    # it must not evict the complete record from the frontier.
+    assert "y" in keys
+
+
+def test_pareto_missing_every_metric_is_dominated():
+    empty = {"point_key": "x", "summary": {}}
+    complete = {
+        "point_key": "y",
+        "summary": {"latency_cycles": 9, "dsp": 5, "bram": 1},
+    }
+    frontier = pareto_frontier([empty, complete])
+    assert [r["point_key"] for r in frontier] == ["y"]
+
+
+def test_pareto_objective_directions():
+    # Regression: throughput used to be minimized like everything else.
+    from repro.dse import OBJECTIVE_DIRECTIONS, objective_direction, objective_vector
+    from repro.dse.pareto import SUMMARY_METRICS
+
+    assert objective_direction("throughput") == "max"
+    assert objective_direction("latency_cycles") == "min"
+    assert set(OBJECTIVE_DIRECTIONS) == set(SUMMARY_METRICS)
+    fast = {"point_key": "fast", "summary": {"throughput": 100.0, "dsp": 5}}
+    slow = {"point_key": "slow", "summary": {"throughput": 10.0, "dsp": 5}}
+    assert objective_vector(fast, ("throughput",)) == (-100.0,)
+    maximized = pareto_frontier([fast, slow], objectives=("throughput", "dsp"))
+    assert [r["point_key"] for r in maximized] == ["fast"]
+    # Minimized metrics still minimize.
+    low = {"point_key": "low", "summary": {"latency_cycles": 1.0, "dsp": 5}}
+    high = {"point_key": "high", "summary": {"latency_cycles": 9.0, "dsp": 5}}
+    minimized = pareto_frontier([low, high], objectives=("latency_cycles", "dsp"))
+    assert [r["point_key"] for r in minimized] == ["low"]
+
+
 def test_pareto_frontier_drops_dominated_points():
     records = [
         {"point_key": "a", "summary": {"latency_cycles": 10, "dsp": 5, "bram": 1}},
@@ -129,6 +177,33 @@ def test_qor_cache_eviction(tmp_path):
     for i in range(6):
         cache.put(f"key{i}", {"i": i})
     assert len(cache) <= 3
+
+
+def test_qor_cache_eviction_tiebreaks_equal_mtimes(tmp_path):
+    # Regression: eviction sorted by mtime alone, so coarse filesystem
+    # timestamps under parallel workers made the eviction order (and thus
+    # the surviving entries) nondeterministic.  Equal mtimes must evict in
+    # path order on every run.
+    import os
+
+    survivors = []
+    for run in range(2):
+        cache = QoRCache(tmp_path / f"qor{run}", max_entries=10)
+        for i in range(6):
+            cache.put(f"key{i}", {"i": i})
+        stamp = 1_700_000_000
+        before = sorted(p.name for p in cache._entries())
+        for path in cache._entries():
+            os.utime(path, (stamp, stamp))
+        cache.max_entries = 2
+        cache._evict_if_needed()
+        remaining = sorted(p.name for p in cache._entries())
+        # With all mtimes equal, exactly the lexicographically-largest
+        # paths survive (path order is digest order: the bucket directory
+        # is the digest's first two characters).
+        assert remaining == before[-2:]
+        survivors.append(remaining)
+    assert survivors[0] == survivors[1]
 
 
 def test_evaluate_point_uses_cache(tmp_path):
@@ -171,6 +246,26 @@ def test_explore_deterministic_across_worker_counts(tmp_path):
     assert again.num_cached == again.num_points  # warm replay
 
 
+def test_explore_dedupes_duplicate_points(tmp_path):
+    # Regression: duplicate points collapsed into one slot of the
+    # order-restoring sort, so cached and fresh duplicates interleaved
+    # nondeterministically.  ``explore`` now dedupes by key up front.
+    point_a, point_b = tiny_space(kernels=("atax",)).points[:2]
+    duplicated = [point_a, point_b, point_a, point_a, point_b]
+    result = explore(duplicated, workers=1, cache_dir=str(tmp_path / "qor"))
+    assert result.num_points == 2
+    assert [r["point_key"] for r in result.records] == [
+        point_a.key(),
+        point_b.key(),
+    ]
+    # Warm replay of the same duplicated list keeps the same order.
+    warm = explore(duplicated, workers=1, cache_dir=str(tmp_path / "qor"))
+    assert [r["point_key"] for r in warm.records] == [
+        r["point_key"] for r in result.records
+    ]
+    assert warm.num_cached == 2
+
+
 def test_explore_rejects_unknown_objectives():
     with pytest.raises(ValueError, match="unknown objective"):
         explore(tiny_space(kernels=("atax",)), objectives=("latency",), use_cache=False)
@@ -184,6 +279,20 @@ def test_explore_warm_cache_replay(tmp_path):
     assert warm.num_cached == warm.num_points == len(space)
     assert warm.frontier_keys() == cold.frontier_keys()
     assert warm.summary()["errors"] == 0
+
+
+def test_best_by_ignores_records_missing_the_metric():
+    from repro.evaluation import ExplorationResult
+
+    result = ExplorationResult(
+        records=[
+            {"point_key": "err", "error": "boom"},
+            {"point_key": "ok", "summary": {"latency_cycles": 5.0}},
+        ]
+    )
+    # An errored record (no summary) must not win with a default 0.0.
+    assert result.best_by("latency_cycles")["point_key"] == "ok"
+    assert result.best_by("throughput", minimize=False) is None
 
 
 def test_exploration_result_serialization(tmp_path):
