@@ -89,6 +89,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "see --list-targets)",
     )
     parser.add_argument(
+        "--fidelity",
+        default="estimate",
+        metavar="LEVEL",
+        help="QoR fidelity of the reported summary: 'estimate' (analytic "
+        "model) or 'simulate' (dataflow simulation of the final design); "
+        "see --list-fidelities (default: estimate)",
+    )
+    parser.add_argument(
+        "--list-fidelities",
+        action="store_true",
+        help="list registered QoR fidelity levels and exit",
+    )
+    parser.add_argument(
         "--verify", action="store_true", help="verify the IR after every stage"
     )
     parser.add_argument(
@@ -157,6 +170,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_targets:
         _print_target_list()
         return 0
+    if args.list_fidelities:
+        from ..dse.fidelity import describe_fidelities
+
+        for line in describe_fidelities():
+            print(line)
+        return 0
+    from ..dse.fidelity import get_fidelity
+
+    try:
+        fidelity = get_fidelity(args.fidelity)
+    except ValueError as error:
+        parser.error(f"--fidelity: {error}")
     if args.workload is None:
         parser.error(
             "--workload is required unless listing stages/workloads/targets "
@@ -211,8 +236,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, seconds in timing.timings:
             print(f"  {name:28s} {seconds * 1e3:8.2f} ms")
 
-    summary = result.summary()
-    print(f"\n{args.workload.label()} on {platform_name}:")
+    qor = fidelity.apply(result)
+    summary = qor["summary"]
+    print(f"\n{args.workload.label()} on {platform_name} "
+          f"({fidelity.name} fidelity):")
     for key, value in summary.items():
         rendered = f"{value:.2f}" if isinstance(value, float) else str(value)
         print(f"  {key}: {rendered}")
@@ -223,8 +250,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             "platform": platform_name,
             "pipeline_spec": compiler.spec_text(),
             "spec_hash": compiler.spec_hash(),
+            "fidelity": fidelity.name,
             "summary": summary,
-            "estimate": result.estimate.to_dict(),
+            "estimate": qor["estimate"],
             "stage_seconds": result.stage_seconds,
         }
         with open(args.json, "w", encoding="utf-8") as handle:

@@ -11,10 +11,23 @@ pipeline into that search engine:
 * :mod:`repro.dse.search` — pluggable adaptive search strategies
   (exhaustive / random / genetic / anneal over knob axes *and* pipeline
   composition);
+* :mod:`repro.dse.fidelity` — multi-fidelity QoR levels (analytic
+  estimate vs dataflow simulation) with promotion racing;
 * ``python -m repro.dse`` — the command-line sweep driver.
 """
 
 from .cache import QoRCache, default_cache_dir
+from .fidelity import (
+    DEFAULT_FIDELITY,
+    DEFAULT_PROMOTE_TOP,
+    FidelityLevel,
+    PromotionPolicy,
+    available_fidelities,
+    best_fidelity_records,
+    fidelity_rank,
+    get_fidelity,
+    register_fidelity,
+)
 from .pareto import (
     DEFAULT_OBJECTIVES,
     OBJECTIVE_DIRECTIONS,
@@ -51,6 +64,15 @@ from .space import (
 __all__ = [
     "QoRCache",
     "default_cache_dir",
+    "DEFAULT_FIDELITY",
+    "DEFAULT_PROMOTE_TOP",
+    "FidelityLevel",
+    "PromotionPolicy",
+    "available_fidelities",
+    "best_fidelity_records",
+    "fidelity_rank",
+    "get_fidelity",
+    "register_fidelity",
     "DEFAULT_OBJECTIVES",
     "OBJECTIVE_DIRECTIONS",
     "hypervolume",

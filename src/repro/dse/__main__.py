@@ -10,6 +10,11 @@ Examples::
     python -m repro.dse --space full --resume --json partial.json
     python -m repro.dse --space full --strategy genetic --budget 200 --workers 8
     python -m repro.dse --space medium --strategy anneal --budget 64 --seed 3
+    python -m repro.dse --space small --strategy genetic --budget 12 \\
+        --fidelity simulate --promote-top 0.25
+    python -m repro.dse --space medium --strategy genetic --budget 64 --patience 3
+    python -m repro.dse --list-strategies
+    python -m repro.dse --list-fidelities
     python -m repro.dse --pipeline-spec "construct-dataflow,lower-structural,parallelize{factor=8},estimate"
     python -m repro.dse --clear-cache
 """
@@ -23,9 +28,10 @@ from typing import List, Optional
 from ..targets import UnknownTargetError, get_target
 from ..workloads import UnknownWorkloadError
 from .cache import QoRCache, default_cache_dir
+from .fidelity import DEFAULT_FIDELITY, available_fidelities, describe_fidelities
 from .pareto import DEFAULT_OBJECTIVES, SUMMARY_METRICS
 from .runner import explore
-from .search import available_strategies
+from .search import available_strategies, get_strategy
 from .space import (
     SPACE_PRESETS,
     build_space,
@@ -132,6 +138,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="offspring batch size for --strategy genetic",
     )
     parser.add_argument(
+        "--fidelity",
+        choices=available_fidelities(),
+        default=DEFAULT_FIDELITY,
+        help="top QoR fidelity: 'estimate' scores everything with the "
+        "analytic model; 'simulate' additionally promotes the most "
+        "promising points to the dataflow simulator and re-ranks the "
+        "frontier on the simulated records (default: estimate)",
+    )
+    parser.add_argument(
+        "--promote-top",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fraction of each generation (or of the full sweep) promoted "
+        "to the --fidelity level (default: 0.25; needs --fidelity simulate)",
+    )
+    parser.add_argument(
+        "--patience",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop a --strategy run after N consecutive generations "
+        "without a hypervolume improvement",
+    )
+    parser.add_argument(
+        "--list-fidelities",
+        action="store_true",
+        help="list registered QoR fidelity levels and exit",
+    )
+    parser.add_argument(
+        "--list-strategies",
+        action="store_true",
+        help="list registered search strategies with their defaults and exit",
+    )
+    parser.add_argument(
         "--objectives",
         default=",".join(DEFAULT_OBJECTIVES),
         help="comma-separated summary metrics, each optimized in its "
@@ -196,12 +237,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         or args.generations
         or args.mutation_rate is not None
         or args.population is not None
+        or args.patience is not None
     ):
         parser.error(
-            "--budget/--generations/--mutation-rate/--population need --strategy"
+            "--budget/--generations/--mutation-rate/--population/--patience "
+            "need --strategy"
         )
     if args.strategy and args.resume:
         parser.error("--resume replays the whole space; drop --strategy")
+    if args.patience is not None and args.patience < 1:
+        parser.error(f"--patience must be >= 1 (got {args.patience})")
+    if args.promote_top is not None:
+        if args.fidelity == DEFAULT_FIDELITY:
+            parser.error("--promote-top needs a multi-fidelity run "
+                         "(e.g. --fidelity simulate)")
+        if not 0.0 < args.promote_top <= 1.0:
+            parser.error(
+                f"--promote-top must be in (0, 1] (got {args.promote_top})"
+            )
+    if args.resume and args.fidelity != DEFAULT_FIDELITY:
+        parser.error("--resume replays the estimate fidelity only; "
+                     "drop --fidelity")
     strategy_options = {}
     if args.generations:
         strategy_options["generations"] = args.generations
@@ -225,6 +281,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         for handle in iter_workloads():
             print(f"{handle.name:14s} {handle.kind}")
+        return 0
+
+    if args.list_fidelities:
+        for line in describe_fidelities():
+            print(line)
+        return 0
+
+    if args.list_strategies:
+        for name in available_strategies():
+            cls = get_strategy(name)
+            doc = (cls.__doc__ or "").strip()
+            doc = doc.splitlines()[0] if doc else ""
+            print(f"{name:12s} {doc}")
+            for option in sorted(cls.defaults):
+                print(f"  {option}={cls.defaults[option]}")
         return 0
 
     if args.clear_cache:
@@ -309,23 +380,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Without a strategy --seed only steers --sample (handled above).
         seed=args.seed if args.strategy else 0,
         strategy_options=strategy_options or None,
+        fidelity=args.fidelity,
+        promote_top=args.promote_top,
+        patience=args.patience,
     )
 
     if result.strategy:
         print()
         print(result.search_table())
+    if result.num_promoted:
+        print()
+        print(result.disagreement_table(max_rows=args.top))
     print()
     print(result.frontier_table(max_rows=args.top))
     stats = result.summary()
     print()
+    evaluations = (
+        f" ({result.num_points} evaluations)" if result.num_promoted else ""
+    )
     print(
-        f"{result.num_points} points in {result.elapsed_seconds:.2f}s "
-        f"({result.points_per_second:.1f} points/s) — "
+        f"{result.num_designs} designs{evaluations} in "
+        f"{result.elapsed_seconds:.2f}s "
+        f"({result.points_per_second:.1f} evals/s) — "
         f"{result.num_cached} from cache, {int(stats['errors'])} errors"
         + (f", {result.skipped} skipped (--resume)" if result.skipped else "")
         + (
-            f"; strategy {result.strategy}: {result.num_points}/{result.budget} "
+            f", {result.num_promoted} promoted to {result.fidelity} fidelity"
+            if result.num_promoted
+            else ""
+        )
+        + (
+            f"; strategy {result.strategy}: "
+            f"{result.num_designs}/{result.budget} "
             f"budget in {len(result.generations)} generation(s)"
+            + (" [stopped early]" if result.stopped_early else "")
             if result.strategy
             else ""
         )

@@ -22,6 +22,7 @@ __all__ = [
     "objective_direction",
     "objective_vector",
     "pareto_frontier",
+    "scalarized_energies",
     "hypervolume",
     "hypervolume_reference",
 ]
@@ -115,6 +116,34 @@ def pareto_frontier(
         frontier.append(candidates[0])
     frontier.sort(key=lambda item: (item[0], str(item[1].get("point_key", ""))))
     return [record for _, record in frontier]
+
+
+def scalarized_energies(
+    records: Sequence[Dict], objectives: Sequence[str] = DEFAULT_OBJECTIVES
+) -> List[float]:
+    """Scalarized energy per record: the mean min-max-normalized signed
+    objective value (lower is better); records missing an objective score
+    ``inf``.  The single-number ranking used wherever a total order over
+    records is needed — annealing acceptance, genetic tiebreaks, promotion
+    ranking of dominated candidates.
+    """
+    vectors = [objective_vector(r, objectives) for r in records]
+    finite = [v for v in vectors if all(x != float("inf") for x in v)]
+    if not finite:
+        return [float("inf")] * len(vectors)
+    lows = [min(v[i] for v in finite) for i in range(len(objectives))]
+    highs = [max(v[i] for v in finite) for i in range(len(objectives))]
+    energies = []
+    for vector in vectors:
+        if any(x == float("inf") for x in vector):
+            energies.append(float("inf"))
+            continue
+        parts = [
+            (x - lo) / (hi - lo) if hi > lo else 0.0
+            for x, lo, hi in zip(vector, lows, highs)
+        ]
+        energies.append(sum(parts) / len(parts))
+    return energies
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,13 @@ and the observed records steer the next batch.  ``budget`` bounds the
 number of distinct points evaluated; cache hits cost no compile time but
 count toward the budget, so cold and warm runs follow identical
 trajectories.
+
+``explore(fidelity="simulate", promote_top=...)`` races QoR fidelities
+(see :mod:`repro.dse.fidelity`): every point is scored by the cheap
+analytic model, the most promising fraction is promoted to the dataflow
+simulator, and the frontier is re-ranked on the highest-fidelity record
+per point.  ``patience`` stops an adaptive search once that many
+consecutive generations fail to improve frontier hypervolume.
 """
 
 from __future__ import annotations
@@ -31,9 +38,16 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..estimation.qor import QoREstimator
-from ..evaluation.reporting import ExplorationResult
+from ..evaluation.reporting import ExplorationResult, relative_disagreement
 from ..ir.printer import fingerprint_op
 from .cache import QoRCache
+from .fidelity import (
+    DEFAULT_FIDELITY,
+    DEFAULT_PROMOTE_TOP,
+    PromotionPolicy,
+    best_fidelity_records,
+    get_fidelity,
+)
 from .pareto import (
     DEFAULT_OBJECTIVES,
     SUMMARY_METRICS,
@@ -61,7 +75,9 @@ def _record_for_point(point: DesignPoint) -> Dict:
     }
 
 
-def _point_cache_key(fingerprint: str, platform: str, spec_text: str) -> str:
+def _point_cache_key(
+    fingerprint: str, platform: str, spec_text: str, fidelity: str = DEFAULT_FIDELITY
+) -> str:
     """Cache key of one evaluated point.
 
     Keyed by *what* is compiled (the input module's printed-IR fingerprint),
@@ -71,24 +87,41 @@ def _point_cache_key(fingerprint: str, platform: str, spec_text: str) -> str:
     Includes the estimator's MODEL_VERSION so that bumping it (the
     documented way to signal an analytical-model change) invalidates every
     persisted QoR record, not just in-process estimator caches.
+
+    Non-base fidelity levels append their versioned tag, so estimate and
+    simulate records never collide; base-level keys are byte-identical to
+    pre-fidelity caches, which therefore stay warm.
     """
-    return (
+    key = (
         f"point|m{QoREstimator.MODEL_VERSION}|{fingerprint}|{platform}|{spec_text}"
     )
+    if fidelity != DEFAULT_FIDELITY:
+        key = f"{key}|{get_fidelity(fidelity).cache_tag()}"
+    return key
 
 
-def evaluate_point(point: DesignPoint, cache_dir: Optional[str] = None) -> Dict:
+def evaluate_point(
+    point: DesignPoint,
+    cache_dir: Optional[str] = None,
+    fidelity: str = DEFAULT_FIDELITY,
+) -> Dict:
     """Evaluate one design point; safe to call in a worker process.
 
     Builds the workload module, computes the content-hash cache key from the
     *input* module fingerprint plus the full option fingerprint, and either
     replays the cached QoR record or runs the compilation pipeline and
-    caches its outcome.  Never raises: failures come back as records with an
-    ``"error"`` field so one broken point cannot sink a whole sweep.
+    caches its outcome.  ``fidelity`` selects the registered QoR level the
+    payload is produced at (``"estimate"`` = analytic model, ``"simulate"``
+    = dataflow simulation); the record carries the level name so consumers
+    can re-rank on the most trusted record per point.  Never raises:
+    failures come back as records with an ``"error"`` field so one broken
+    point cannot sink a whole sweep.
     """
     record = _record_for_point(point)
+    record["fidelity"] = fidelity
     started = time.perf_counter()
     try:
+        level = get_fidelity(fidelity)
         compiler = point.compiler()
         spec = point.workload_spec()
         module = None
@@ -100,22 +133,21 @@ def evaluate_point(point: DesignPoint, cache_dir: Optional[str] = None) -> Dict:
         record["module_fingerprint"] = fingerprint
         record["pipeline_spec"] = compiler.spec_text()
         cache = QoRCache(cache_dir) if cache_dir else None
-        key = _point_cache_key(fingerprint, point.platform, compiler.spec_text())
+        key = _point_cache_key(
+            fingerprint, point.platform, compiler.spec_text(), fidelity
+        )
         if cache is not None:
             cached = cache.get(key)
             if cached is not None:
                 record.update(cached)
                 record["cached"] = True
+                record["fidelity"] = fidelity
                 record["eval_seconds"] = time.perf_counter() - started
                 return record
         if module is None:
             module = spec.build()
         result = compiler.run(module)
-        payload = {
-            "summary": result.summary(),
-            "estimate": result.estimate.to_dict(),
-            "fits": result.platform.fits(result.estimate.resources.as_dict()),
-        }
+        payload = level.apply(result)
         if cache is not None:
             cache.put(key, payload)
         record.update(payload)
@@ -127,7 +159,9 @@ def evaluate_point(point: DesignPoint, cache_dir: Optional[str] = None) -> Dict:
     return record
 
 
-def _replay_cached(point: DesignPoint, cache_dir: str) -> Optional[Dict]:
+def _replay_cached(
+    point: DesignPoint, cache_dir: str, fidelity: str = DEFAULT_FIDELITY
+) -> Optional[Dict]:
     """Parent-side cache probe: a completed record on a hit, else None.
 
     Probing before fan-out keeps fully-warm sweeps free of process-pool
@@ -135,6 +169,7 @@ def _replay_cached(point: DesignPoint, cache_dir: str) -> Optional[Dict]:
     one JSON read.
     """
     record = _record_for_point(point)
+    record["fidelity"] = fidelity
     started = time.perf_counter()
     try:
         spec = point.workload_spec()
@@ -143,7 +178,7 @@ def _replay_cached(point: DesignPoint, cache_dir: str) -> Optional[Dict]:
         if fingerprint is None:
             fingerprint = fingerprint_op(spec.build())
             _WORKLOAD_FINGERPRINTS[spec] = fingerprint
-        key = _point_cache_key(fingerprint, point.platform, spec_text)
+        key = _point_cache_key(fingerprint, point.platform, spec_text, fidelity)
         cached = QoRCache(cache_dir).get(key)
         if cached is None:
             return None
@@ -151,6 +186,7 @@ def _replay_cached(point: DesignPoint, cache_dir: str) -> Optional[Dict]:
         record["pipeline_spec"] = spec_text
         record.update(cached)
         record["cached"] = True
+        record["fidelity"] = fidelity
         record["eval_seconds"] = time.perf_counter() - started
         return record
     except Exception:
@@ -208,8 +244,10 @@ def _evaluate_batch(
     chunksize: int,
     resume: bool = False,
     pool: Optional[ProcessPoolExecutor] = None,
+    fidelity: str = DEFAULT_FIDELITY,
 ) -> tuple:
-    """Evaluate one batch of points; records come back in batch order.
+    """Evaluate one batch of points at one fidelity level; records come
+    back in batch order.
 
     Cache hits replay in the parent process (no pool startup on warm
     batches); the rest fan out across ``pool`` (or a batch-local pool when
@@ -220,7 +258,7 @@ def _evaluate_batch(
     pending: List[DesignPoint] = []
     if resolved_cache:
         for point in points:
-            cached = _replay_cached(point, resolved_cache)
+            cached = _replay_cached(point, resolved_cache, fidelity)
             if cached is not None:
                 records.append(cached)
             else:
@@ -232,7 +270,9 @@ def _evaluate_batch(
         skipped = len(pending)
         pending = []
     if workers <= 1 or len(pending) <= 1:
-        records.extend(evaluate_point(point, resolved_cache) for point in pending)
+        records.extend(
+            evaluate_point(point, resolved_cache, fidelity) for point in pending
+        )
     elif pending:
         def fan_out(executor: ProcessPoolExecutor) -> None:
             records.extend(
@@ -240,6 +280,7 @@ def _evaluate_batch(
                     evaluate_point,
                     pending,
                     [resolved_cache] * len(pending),
+                    [fidelity] * len(pending),
                     chunksize=max(1, chunksize),
                 )
             )
@@ -325,6 +366,9 @@ def explore(
     budget: Optional[int] = None,
     seed: int = 0,
     strategy_options: Optional[Dict] = None,
+    fidelity: str = DEFAULT_FIDELITY,
+    promote_top: Optional[float] = None,
+    patience: Optional[int] = None,
 ) -> ExplorationResult:
     """Evaluate ``space`` (fully or via a search strategy) and extract the
     Pareto frontier.
@@ -350,6 +394,22 @@ def explore(
     an interrupted sweep's partial cache into an output JSON without
     recomputation.  ``resume`` is a replay of the *whole* space, so it is
     incompatible with ``strategy``.
+
+    ``fidelity`` picks the top QoR level of a multi-fidelity run (see
+    :mod:`repro.dse.fidelity`).  With ``fidelity="simulate"`` every point is
+    still evaluated at the cheap analytic level first; each generation (or
+    once, after a full sweep) the top ``promote_top`` fraction — frontier
+    members first, ranked by hypervolume contribution — is re-evaluated by
+    the dataflow simulator, strategies steer on the best-available record
+    per point, and the final frontier is re-ranked on the
+    highest-fidelity records.  Promotions do not consume ``budget`` (budget
+    counts distinct *designs*, not evaluations), and both levels cache
+    under fidelity-tagged keys, so warm reruns do zero compiles and zero
+    simulations.
+
+    ``patience`` adds hypervolume-based early stopping to an adaptive
+    search: the run ends once ``patience`` consecutive generations fail to
+    improve the (best-fidelity) frontier hypervolume.
 
     With ``group_by_workload`` (the default) the frontier is the union of
     per-workload frontiers — latency trade-offs only make sense between
@@ -381,6 +441,39 @@ def explore(
             "budget/seed/strategy_options have no effect without strategy=... "
             "(the full sweep evaluates every point)"
         )
+    level = get_fidelity(str(fidelity))
+    base_rank = get_fidelity(DEFAULT_FIDELITY).rank
+    if level.rank < base_rank:
+        raise ValueError(
+            f"fidelity {level.name!r} is below the base level "
+            f"{DEFAULT_FIDELITY!r}; promotion races upward only"
+        )
+    multi_fidelity = level.rank > base_rank
+    if promote_top is not None and not multi_fidelity:
+        raise ValueError(
+            "promote_top has no effect at the base fidelity; "
+            "pass fidelity='simulate' (or another higher level) with it"
+        )
+    if resume and multi_fidelity:
+        raise ValueError(
+            "resume replays base-fidelity cache entries only; drop fidelity=..."
+        )
+    policy: Optional[PromotionPolicy] = None
+    if multi_fidelity:
+        policy = PromotionPolicy(
+            target=level.name,
+            promote_top=(
+                DEFAULT_PROMOTE_TOP if promote_top is None else float(promote_top)
+            ),
+        )
+    if patience is not None:
+        if strategy is None:
+            raise ValueError(
+                "patience stops an adaptive search early; it needs strategy=..."
+            )
+        patience = int(patience)
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1 (got {patience})")
     resolved_cache: Optional[str] = None
     if use_cache:
         resolved_cache = str(cache_dir) if cache_dir else str(QoRCache().root)
@@ -388,10 +481,41 @@ def explore(
     started = time.perf_counter()
     strategy_name: Optional[str] = None
     generations: List[Dict] = []
+    stopped_early = False
     if strategy is None:
-        records, skipped = _evaluate_batch(
-            points, workers, resolved_cache, chunksize, resume
+        # Share one pool between the base sweep and its promotion pass so
+        # the workers (and their import replay) are paid for once.
+        sweep_pool = (
+            _make_pool(workers, points)
+            if workers > 1 and policy is not None
+            else None
         )
+        try:
+            records, skipped = _evaluate_batch(
+                points, workers, resolved_cache, chunksize, resume,
+                pool=sweep_pool,
+            )
+            if policy is not None:
+                scored = [r for r in records if "error" not in r]
+                by_key = {point.key(): point for point in points}
+                promote_keys = policy.select(
+                    scored, scored, objectives, group_by_workload
+                )
+                promote_points = [
+                    by_key[key] for key in promote_keys if key in by_key
+                ]
+                promoted_records, _ = _evaluate_batch(
+                    promote_points,
+                    workers,
+                    resolved_cache,
+                    chunksize,
+                    pool=sweep_pool,
+                    fidelity=level.name,
+                )
+                records.extend(promoted_records)
+        finally:
+            if sweep_pool is not None:
+                sweep_pool.shutdown()
     else:
         from .search import SearchStrategy, make_strategy
 
@@ -422,28 +546,80 @@ def explore(
         budget = searcher.budget
         records = []
         skipped = 0
+        evaluated_designs = 0
+        stall = 0
+        #: Index into ``records`` after each generation, for the final
+        #: fixed-reference hypervolume pass (promotions interleave, so the
+        #: design count no longer addresses the record list).
+        boundaries: List[int] = []
         # One shared pool across generations: the per-batch fan-out would
         # otherwise respawn workers (and replay their imports) every
         # generation.  Strategies never mutate workload axes, so the
         # space's workload set covers every batch.
         pool = _make_pool(workers, points) if workers > 1 else None
         try:
-            while len(records) < budget:
-                batch = searcher.propose(budget - len(records))
+            while evaluated_designs < budget:
+                batch = searcher.propose(budget - evaluated_designs)
                 if not batch:
                     break
-                batch = batch[: budget - len(records)]
+                batch = batch[: budget - evaluated_designs]
                 batch_records, _ = _evaluate_batch(
                     batch, workers, resolved_cache, chunksize, pool=pool
                 )
                 searcher.observe(batch_records)
+                previous_boundary = len(records)
                 records.extend(batch_records)
-                scored_so_far = [r for r in records if "error" not in r]
+                evaluated_designs += len(batch_records)
+                promoted_records: List[Dict] = []
+                if policy is not None:
+                    context = [
+                        r
+                        for r in best_fidelity_records(records)
+                        if "error" not in r
+                    ]
+                    promote_keys = policy.select(
+                        [r for r in batch_records if "error" not in r],
+                        context,
+                        objectives,
+                        group_by_workload,
+                    )
+                    by_key = {point.key(): point for point in batch}
+                    promote_points = [
+                        by_key[key] for key in promote_keys if key in by_key
+                    ]
+                    promoted_records, _ = _evaluate_batch(
+                        promote_points,
+                        workers,
+                        resolved_cache,
+                        chunksize,
+                        pool=pool,
+                        fidelity=level.name,
+                    )
+                    searcher.observe(promoted_records, refinement=True)
+                    records.extend(promoted_records)
+                base_by_key = {r.get("point_key"): r for r in batch_records}
+                disagreement = max(
+                    (
+                        relative_disagreement(
+                            base_by_key[r.get("point_key")].get("summary", {}),
+                            r.get("summary", {}),
+                            objectives,
+                        )
+                        for r in promoted_records
+                        if "error" not in r and r.get("point_key") in base_by_key
+                    ),
+                    default=0.0,
+                )
+                scored_so_far = [
+                    r for r in best_fidelity_records(records) if "error" not in r
+                ]
                 generations.append(
                     {
                         "generation": len(generations),
                         "evaluated": len(batch_records),
-                        "total_evaluations": len(records),
+                        "promoted": len(promoted_records),
+                        "max_disagreement": disagreement,
+                        "total_evaluations": evaluated_designs,
                         "frontier_size": len(
                             _grouped_frontier(
                                 scored_so_far, objectives, group_by_workload
@@ -451,6 +627,33 @@ def explore(
                         ),
                     }
                 )
+                boundaries.append(len(records))
+                if patience is not None:
+                    # Online improvement check: both prefixes are scored
+                    # against references derived from the *current* record
+                    # set, so the comparison is apples-to-apples even as
+                    # the observed objective ranges expand.
+                    current_refs = _hv_references(
+                        scored_so_far, objectives, group_by_workload
+                    )
+                    volume_now = _grouped_hypervolume(
+                        scored_so_far, objectives, group_by_workload, current_refs
+                    )
+                    previous_scored = [
+                        r
+                        for r in best_fidelity_records(records[:previous_boundary])
+                        if "error" not in r
+                    ]
+                    volume_before = _grouped_hypervolume(
+                        previous_scored, objectives, group_by_workload, current_refs
+                    )
+                    improved = volume_now > volume_before + 1e-9 * max(
+                        abs(volume_now), 1.0
+                    )
+                    stall = 0 if improved else stall + 1
+                    if stall >= patience:
+                        stopped_early = True
+                        break
         finally:
             if pool is not None:
                 pool.shutdown()
@@ -458,12 +661,14 @@ def explore(
         # by the final record set — re-deriving the reference mid-run would
         # make consecutive rows incomparable (it expands whenever a new
         # worst extreme is observed).
-        final_scored = [r for r in records if "error" not in r]
+        final_scored = [
+            r for r in best_fidelity_records(records) if "error" not in r
+        ]
         references = _hv_references(final_scored, objectives, group_by_workload)
-        for generation in generations:
+        for generation, boundary in zip(generations, boundaries):
             prefix = [
                 r
-                for r in records[: generation["total_evaluations"]]
+                for r in best_fidelity_records(records[:boundary])
                 if "error" not in r
             ]
             generation["hypervolume"] = _grouped_hypervolume(
@@ -472,7 +677,9 @@ def explore(
     elapsed = time.perf_counter() - started
 
     errors = [r for r in records if "error" in r]
-    scored = [r for r in records if "error" not in r]
+    # Re-rank on the most trusted record per design point: promoted points
+    # enter the frontier with their simulator-fidelity QoR.
+    scored = [r for r in best_fidelity_records(records) if "error" not in r]
     frontier = _grouped_frontier(scored, objectives, group_by_workload)
     return ExplorationResult(
         records=records,
@@ -487,4 +694,7 @@ def explore(
         strategy=strategy_name,
         budget=budget if strategy_name is not None else None,
         generations=generations,
+        fidelity=level.name,
+        promote_top=policy.promote_top if policy is not None else None,
+        stopped_early=stopped_early,
     )

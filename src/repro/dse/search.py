@@ -42,7 +42,7 @@ import math
 import random
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
-from .pareto import DEFAULT_OBJECTIVES, objective_vector, pareto_frontier
+from .pareto import DEFAULT_OBJECTIVES, pareto_frontier, scalarized_energies
 from .space import DesignPoint, axis_domains
 
 __all__ = [
@@ -379,8 +379,19 @@ class SearchStrategy:
     def _propose(self, limit: int) -> List[DesignPoint]:
         raise NotImplementedError
 
-    def observe(self, records: Sequence[Dict]) -> None:
-        """Feed one evaluated batch back; called once per proposal."""
+    def observe(self, records: Sequence[Dict], *, refinement: bool = False) -> None:
+        """Feed one evaluated batch back; called once per proposal.
+
+        With ``refinement`` the records are higher-fidelity re-evaluations
+        of already-observed points (see :mod:`repro.dse.fidelity`): each one
+        replaces the point's existing record in place — subsequent
+        proposals steer on the best-available fidelity — and no search
+        generation elapses.
+        """
+        if refinement:
+            for record in records:
+                self._refine_record(record)
+            return
         for record in records:
             self.records.append(record)
             key = record.get("point_key")
@@ -388,6 +399,31 @@ class SearchStrategy:
                 self.seen.add(key)
                 self._record_by_key[key] = record
         self._generation += 1
+
+    def tell(self, records: Sequence[Dict], *, refinement: bool = False) -> None:
+        """Ask/tell alias of :meth:`observe` (``propose`` is the ask)."""
+        self.observe(records, refinement=refinement)
+
+    def _refine_record(self, record: Dict) -> None:
+        """Swap a point's record for a higher-fidelity re-evaluation."""
+        key = record.get("point_key")
+        previous = self._record_by_key.get(key) if key else None
+        if previous is None:
+            # A refinement for a point this strategy never proposed (e.g.
+            # replayed from an archive): treat it as a plain observation,
+            # without consuming a generation.
+            self.records.append(record)
+            if key:
+                self.seen.add(key)
+                self._record_by_key[key] = record
+            return
+        if "error" in record and "error" not in previous:
+            return  # a failed re-evaluation never hides a scored record
+        for index, existing in enumerate(self.records):
+            if existing is previous:
+                self.records[index] = record
+                break
+        self._record_by_key[key] = record
 
     # -------------------------------------------------------------- helpers
     def _register(self, point: DesignPoint) -> str:
@@ -410,25 +446,8 @@ class SearchStrategy:
         return groups
 
     def _energies(self, records: Sequence[Dict]) -> List[float]:
-        """Scalarized energy per record: mean min-max-normalized signed
-        objective value (lower is better); incomplete records score inf."""
-        vectors = [objective_vector(r, self.objectives) for r in records]
-        finite = [v for v in vectors if all(x != float("inf") for x in v)]
-        if not finite:
-            return [float("inf")] * len(vectors)
-        lows = [min(v[i] for v in finite) for i in range(len(self.objectives))]
-        highs = [max(v[i] for v in finite) for i in range(len(self.objectives))]
-        energies = []
-        for vector in vectors:
-            if any(x == float("inf") for x in vector):
-                energies.append(float("inf"))
-                continue
-            parts = [
-                (x - lo) / (hi - lo) if hi > lo else 0.0
-                for x, lo, hi in zip(vector, lows, highs)
-            ]
-            energies.append(sum(parts) / len(parts))
-        return energies
+        """Scalarized energy per record (see :func:`scalarized_energies`)."""
+        return scalarized_energies(records, self.objectives)
 
     def _mutate_point(self, point: DesignPoint) -> Optional[DesignPoint]:
         """One-axis neighbor of a point (spec points mutate their spec)."""
@@ -738,8 +757,12 @@ class AnnealSearch(SearchStrategy):
             return neighbor
         return None
 
-    def observe(self, records: Sequence[Dict]) -> None:
-        super().observe(records)
+    def observe(self, records: Sequence[Dict], *, refinement: bool = False) -> None:
+        super().observe(records, refinement=refinement)
+        if refinement:
+            # Replaced records re-enter the energy landscape on the next
+            # generation; chain positions are unaffected by a re-score.
+            return
         groups = self._scored_by_group()
         for chain in self._chain_state or []:
             proposed = chain.pop("proposed", None)

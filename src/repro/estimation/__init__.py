@@ -15,6 +15,7 @@ from .metrics import (
 )
 from .platform import PLATFORMS, PYNQ_Z2, VU9P_SLR, ZU3EG, Platform, get_platform
 from .qor import (
+    SIMULATION_FRAMES,
     DesignEstimate,
     NodeEstimate,
     QoREstimator,
@@ -23,6 +24,8 @@ from .qor import (
     estimate_band,
     estimate_buffer,
     estimate_node,
+    simulate_design,
+    simulate_node,
 )
 
 __all__ = [
@@ -49,4 +52,7 @@ __all__ = [
     "estimate_band",
     "estimate_buffer",
     "estimate_node",
+    "simulate_design",
+    "simulate_node",
+    "SIMULATION_FRAMES",
 ]

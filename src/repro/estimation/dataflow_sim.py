@@ -17,7 +17,7 @@ token flow) precisely to remove that back-pressure.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dialects.dataflow import (
     BufferOp,
@@ -103,6 +103,7 @@ def simulate_dataflow(
     latencies: Sequence[float],
     channels: Sequence[ChannelSpec],
     frames: int = 16,
+    intervals: Optional[Sequence[float]] = None,
 ) -> Tuple[float, float]:
     """Simulate ``frames`` frames through a dataflow pipeline.
 
@@ -113,8 +114,11 @@ def simulate_dataflow(
 
     * a node starts frame *f* only after all its predecessors finished
       frame *f* (data availability),
-    * after it finished its own frame *f - 1* (a node is not internally
-      pipelined across frames),
+    * after its own frame-to-frame spacing: with ``intervals`` absent the
+      node is not internally pipelined across frames (it must finish frame
+      *f - 1* first); with ``intervals`` given, node *i* accepts a new frame
+      every ``intervals[i]`` cycles even while earlier frames drain through
+      it (an internally ping-pong-buffered engine),
     * and after every channel it writes has a free slot, i.e. its consumer
       has finished frame *f - capacity + 1* (back-pressure).
     """
@@ -135,7 +139,13 @@ def simulate_dataflow(
         for node in order:
             earliest = 0.0
             if frame > 0:
-                earliest = max(earliest, finish[frame - 1][node])
+                if intervals is None:
+                    earliest = max(earliest, finish[frame - 1][node])
+                else:
+                    earliest = max(
+                        earliest,
+                        start[frame - 1][node] + max(intervals[node], 1.0),
+                    )
             for channel in preds[node]:
                 earliest = max(earliest, finish[frame][channel.producer])
             for channel in succs[node]:
@@ -152,7 +162,13 @@ def simulate_dataflow(
     single_frame_latency = last_finish[0]
     half = frames // 2
     steady_interval = (last_finish[-1] - last_finish[half]) / max(frames - 1 - half, 1)
-    steady_interval = max(steady_interval, max(latencies) if latencies else 1.0)
+    if intervals is None:
+        floor = max(latencies) if latencies else 1.0
+    else:
+        # Internally pipelined nodes can sustain one frame per interval, so
+        # the whole pipeline's floor is the slowest node *interval*.
+        floor = max(max(i, 1.0) for i in intervals)
+    steady_interval = max(steady_interval, floor)
     return steady_interval, single_frame_latency
 
 
@@ -189,10 +205,20 @@ def simulate_schedule(
     schedule: ScheduleOp,
     node_estimates: Sequence,
     frames: int = 16,
+    intervals: Optional[Sequence[float]] = None,
 ) -> Tuple[float, float]:
-    """Simulate a schedule given per-node estimates (from the QoR model)."""
+    """Simulate a schedule given per-node estimates (from the QoR model).
+
+    ``intervals`` optionally gives each node an internal initiation interval
+    (see :func:`simulate_dataflow`); without it nodes are frame-atomic,
+    which is what the analytic estimator assumes.
+    """
     nodes, channels = build_channels(schedule)
     latencies = [estimate.latency for estimate in node_estimates]
     if len(latencies) != len(nodes):
         latencies = latencies[: len(nodes)] + [1.0] * (len(nodes) - len(latencies))
-    return simulate_dataflow(latencies, channels, frames=frames)
+    if intervals is not None and len(intervals) != len(nodes):
+        intervals = list(intervals[: len(nodes)]) + [1.0] * (
+            len(nodes) - len(intervals)
+        )
+    return simulate_dataflow(latencies, channels, frames=frames, intervals=intervals)

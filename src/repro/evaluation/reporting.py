@@ -15,7 +15,28 @@ __all__ = [
     "format_table",
     "format_ratio",
     "print_table",
+    "relative_disagreement",
 ]
+
+
+def relative_disagreement(
+    base_summary: Dict, refined_summary: Dict, objectives: Sequence[str]
+) -> float:
+    """Worst relative per-objective delta between two QoR summaries.
+
+    The single definition of the fidelity-disagreement metric: the runner's
+    per-generation ``disagree`` column and the per-point
+    :meth:`ExplorationResult.disagreements` report both read it, so the two
+    views can never drift apart.
+    """
+    worst = 0.0
+    for name in objectives:
+        low, high = base_summary.get(name), refined_summary.get(name)
+        if low is None or high is None:
+            continue
+        low, high = float(low), float(high)
+        worst = max(worst, abs(high - low) / max(abs(low), abs(high), 1e-9))
+    return worst
 
 
 def format_ratio(value: Optional[float]) -> str:
@@ -90,9 +111,18 @@ class ExplorationResult:
     #: Evaluation budget of the search (distinct points; cache hits count).
     budget: Optional[int] = None
     #: Per-generation search progress: generation index, points evaluated
-    #: that generation, cumulative evaluations vs budget, frontier size and
+    #: that generation, promotions and their worst estimate/simulate
+    #: disagreement, cumulative evaluations vs budget, frontier size and
     #: (informational, run-internal) frontier hypervolume.
     generations: List[Dict] = dataclasses.field(default_factory=list)
+    #: Top QoR fidelity of the run (see :mod:`repro.dse.fidelity`); the
+    #: base ``"estimate"`` level means single-fidelity.
+    fidelity: str = "estimate"
+    #: Fraction of each generation promoted to the top fidelity (None =
+    #: single-fidelity run).
+    promote_top: Optional[float] = None
+    #: True when ``patience`` stopped the search before the budget ran out.
+    stopped_early: bool = False
 
     @property
     def num_points(self) -> int:
@@ -107,6 +137,78 @@ class ExplorationResult:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.num_points / self.elapsed_seconds
+
+    @property
+    def num_promoted(self) -> int:
+        """Scored records above the base fidelity (promotion races).
+
+        Errored re-evaluations are excluded — they produced no simulated
+        QoR, so counting them would advertise disagreement rows that
+        :meth:`disagreements` (rightly) cannot show.
+        """
+        return sum(
+            1
+            for record in self.records
+            if "error" not in record
+            and record.get("fidelity", "estimate") != "estimate"
+        )
+
+    @property
+    def num_designs(self) -> int:
+        """Distinct design points evaluated (what ``budget`` counts).
+
+        A multi-fidelity run re-evaluates promoted points, so ``num_points``
+        (records, i.e. evaluations) exceeds this; single-fidelity runs have
+        the two equal.
+        """
+        return len({record.get("point_key") for record in self.records})
+
+    def disagreements(self) -> List[Dict]:
+        """Per-point estimate-vs-promoted objective comparison.
+
+        One row per promoted point: the base and promoted values of every
+        objective plus the worst relative delta — how much the dataflow
+        simulation moved the analytic score.  Rows are ordered worst
+        disagreement first (then point key), so the top row is where the
+        cheap model is least trustworthy.
+        """
+        base: Dict[str, Dict] = {}
+        promoted: Dict[str, Dict] = {}
+        for record in self.records:
+            if "error" in record:
+                continue
+            key = str(record.get("point_key", ""))
+            if record.get("fidelity", "estimate") == "estimate":
+                base.setdefault(key, record)
+            else:
+                promoted[key] = record
+        rows: List[Dict] = []
+        for key, refined in promoted.items():
+            original = base.get(key)
+            if original is None:
+                continue
+            comparison: Dict[str, object] = {
+                "point_key": key,
+                "label": refined.get("label", original.get("label", "?")),
+                "fidelity": refined.get("fidelity"),
+            }
+            for name in self.objectives:
+                comparison[f"estimate_{name}"] = original.get("summary", {}).get(
+                    name
+                )
+                comparison[f"{refined.get('fidelity')}_{name}"] = refined.get(
+                    "summary", {}
+                ).get(name)
+            comparison["max_disagreement"] = relative_disagreement(
+                original.get("summary", {}),
+                refined.get("summary", {}),
+                self.objectives,
+            )
+            rows.append(comparison)
+        rows.sort(
+            key=lambda row: (-float(row["max_disagreement"]), row["point_key"])
+        )
+        return rows
 
     def frontier_keys(self) -> List[str]:
         """Stable identity of the frontier (for determinism checks)."""
@@ -128,7 +230,15 @@ class ExplorationResult:
 
     # -------------------------------------------------------------- rendering
     def frontier_table(self, max_rows: int = 0) -> str:
-        headers = ["design point", "latency", "dsp", "bram", "throughput/s", "cached"]
+        headers = [
+            "design point",
+            "latency",
+            "dsp",
+            "bram",
+            "throughput/s",
+            "fidelity",
+            "cached",
+        ]
         rows = []
         frontier = self.frontier[:max_rows] if max_rows else self.frontier
         for record in frontier:
@@ -140,41 +250,83 @@ class ExplorationResult:
                     summary.get("dsp"),
                     summary.get("bram"),
                     summary.get("throughput"),
+                    record.get("fidelity", "estimate"),
                     "yes" if record.get("cached") else "no",
                 ]
             )
         title = (
-            f"Pareto frontier ({len(self.frontier)}/{self.num_points} points, "
+            f"Pareto frontier ({len(self.frontier)}/{self.num_designs} designs, "
             f"objectives: {', '.join(self.objectives)})"
         )
         return format_table(headers, rows, title)
 
     def search_table(self) -> str:
-        """Per-generation progress of an adaptive search run."""
+        """Per-generation progress of an adaptive search run.
+
+        Multi-fidelity runs add the promotion columns: how many of the
+        generation's designs were re-evaluated by the simulator and the
+        worst relative disagreement between the two fidelities.
+        """
+        multi = any(generation.get("promoted") for generation in self.generations)
         headers = ["gen", "evaluated", "total/budget", "frontier", "hypervolume"]
-        rows = [
-            [
+        if multi:
+            headers[3:3] = ["promoted", "disagree"]
+        rows = []
+        for generation in self.generations:
+            row = [
                 generation.get("generation"),
                 generation.get("evaluated"),
                 f"{generation.get('total_evaluations')}/{self.budget}",
                 generation.get("frontier_size"),
                 generation.get("hypervolume"),
             ]
-            for generation in self.generations
-        ]
+            if multi:
+                disagreement = generation.get("max_disagreement")
+                row[3:3] = [
+                    generation.get("promoted", 0),
+                    None if disagreement is None else f"{disagreement:.1%}",
+                ]
+            rows.append(row)
+        title = f"Search progress (strategy: {self.strategy}"
+        if multi:
+            title += f", fidelity: {self.fidelity}, promote top {self.promote_top:.0%}"
+        title += ", stopped early)" if self.stopped_early else ")"
+        return format_table(headers, rows, title)
+
+    def disagreement_table(self, max_rows: int = 0) -> str:
+        """Estimate-vs-simulation comparison of every promoted point."""
+        rows_data = self.disagreements()
+        if max_rows:
+            rows_data = rows_data[:max_rows]
+        headers = ["design point", "fidelity"]
+        for name in self.objectives:
+            headers += [f"est {name}", f"{self.fidelity} {name}"]
+        headers.append("disagree")
+        rows = []
+        for comparison in rows_data:
+            row = [comparison.get("label"), comparison.get("fidelity")]
+            for name in self.objectives:
+                row.append(comparison.get(f"estimate_{name}"))
+                row.append(comparison.get(f"{comparison.get('fidelity')}_{name}"))
+            row.append(f"{float(comparison['max_disagreement']):.1%}")
+            rows.append(row)
         return format_table(
-            headers, rows, f"Search progress (strategy: {self.strategy})"
+            headers,
+            rows,
+            f"Fidelity disagreement ({self.num_promoted} promoted point(s))",
         )
 
     def summary(self) -> Dict[str, float]:
         return {
             "points": float(self.num_points),
+            "designs": float(self.num_designs),
             "frontier": float(len(self.frontier)),
             "cached": float(self.num_cached),
             "cache_hits": float(self.cache_hits),
             "cache_misses": float(self.cache_misses),
             "errors": float(len(self.errors)),
             "skipped": float(self.skipped),
+            "promotions": float(self.num_promoted),
             "workers": float(self.workers),
             "elapsed_seconds": self.elapsed_seconds,
             "points_per_second": self.points_per_second,
@@ -195,6 +347,9 @@ class ExplorationResult:
             "strategy": self.strategy,
             "budget": self.budget,
             "generations": self.generations,
+            "fidelity": self.fidelity,
+            "promote_top": self.promote_top,
+            "stopped_early": self.stopped_early,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -215,4 +370,7 @@ class ExplorationResult:
             strategy=data.get("strategy"),
             budget=data.get("budget"),
             generations=list(data.get("generations", [])),
+            fidelity=str(data.get("fidelity", "estimate")),
+            promote_top=data.get("promote_top"),
+            stopped_early=bool(data.get("stopped_early", False)),
         )

@@ -1,0 +1,175 @@
+"""Tests of the coarse-grained dataflow simulator
+(:mod:`repro.estimation.dataflow_sim`).
+
+The simulator is the expensive fidelity of the DSE subsystem, so its
+behavioral contract matters: topological ordering must be stable under
+channel permutations, capacity-1 channels must serialize producer and
+consumer (back-pressure), repeated simulations of the same schedule must be
+bit-identical, and where the analytic estimator draws a clear ordering
+between designs the simulation must agree.
+"""
+
+import itertools
+
+from repro.dse import build_space, explore, polybench_suite
+from repro.estimation import (
+    ChannelSpec,
+    build_channels,
+    simulate_dataflow,
+    simulate_schedule,
+)
+from repro.estimation.dataflow_sim import _topological_order
+from repro.workloads import as_module
+from repro.compiler import Compiler
+
+
+def _run(workload="2mm"):
+    compiler = Compiler.from_spec(
+        "construct-dataflow,lower-linalg,lower-structural,parallelize,estimate",
+        platform="zu3eg",
+    )
+    return compiler.run(as_module(workload))
+
+
+# ------------------------------------------------------------- topo order
+def test_topological_order_is_stable_under_channel_permutations():
+    channels = [
+        ChannelSpec(0, 2),
+        ChannelSpec(1, 2),
+        ChannelSpec(2, 3),
+        ChannelSpec(0, 1),
+    ]
+    baseline = _topological_order(4, channels)
+    assert baseline == [0, 1, 2, 3]
+    for permutation in itertools.permutations(channels):
+        assert _topological_order(4, list(permutation)) == baseline
+        # Duplicate edges are ignored, not double-counted.
+        assert _topological_order(4, list(permutation) * 2) == baseline
+
+
+def test_topological_order_cycles_fall_back_to_program_order():
+    channels = [ChannelSpec(0, 1), ChannelSpec(1, 0)]
+    order = _topological_order(2, channels)
+    assert sorted(order) == [0, 1]
+    # A cycle plus a downstream node: the acyclic part still sorts first.
+    channels = [ChannelSpec(0, 1), ChannelSpec(1, 0), ChannelSpec(1, 2)]
+    order = _topological_order(3, channels)
+    assert order[-1] != 0 or len(order) == 3
+
+
+# ---------------------------------------------------------- back-pressure
+def test_capacity_one_channel_serializes_producer_and_consumer():
+    # With one slot the producer must wait for the consumer to drain each
+    # frame: steady interval = sum of latencies.  Two ping-pong stages
+    # decouple them: steady interval = the slower node.
+    serial, _ = simulate_dataflow([10.0, 10.0], [ChannelSpec(0, 1, 1)])
+    pingpong, _ = simulate_dataflow([10.0, 10.0], [ChannelSpec(0, 1, 2)])
+    assert serial == 20.0
+    assert pingpong == 10.0
+
+
+def test_shortcut_channel_back_pressures_a_deep_path():
+    # A 2-deep shortcut next to a 3-node chain (the ResNet residual shape):
+    # the shortcut holds frames while the long path drains, throttling the
+    # producer.  Deepening the shortcut restores full pipelining.
+    chain = [ChannelSpec(0, 1, 2), ChannelSpec(1, 2, 2)]
+    shallow, _ = simulate_dataflow([10.0, 10.0, 10.0], chain + [ChannelSpec(0, 2, 2)])
+    deep, _ = simulate_dataflow([10.0, 10.0, 10.0], chain + [ChannelSpec(0, 2, 4)])
+    assert shallow > deep
+    assert deep == 10.0
+
+
+def test_single_frame_latency_is_the_critical_path():
+    _, latency = simulate_dataflow(
+        [5.0, 7.0, 3.0], [ChannelSpec(0, 1, 2), ChannelSpec(1, 2, 2)]
+    )
+    assert latency == 15.0
+
+
+def test_internal_intervals_unlock_frame_pipelining():
+    # Frame-atomic (no intervals): a node admits one frame per own latency.
+    atomic, _ = simulate_dataflow([12.0], [])
+    # Internally pipelined at II=4: the same node admits frames 3x faster.
+    pipelined, _ = simulate_dataflow([12.0], [], intervals=[4.0])
+    assert atomic == 12.0
+    assert pipelined == 4.0
+    # Channel capacity still back-pressures pipelined nodes: a 2-deep
+    # channel holds only 2 in-flight frames of the 12-cycle producer, so
+    # the pipeline cannot reach the 4-cycle internal rate until the
+    # channel deepens.
+    shallow, _ = simulate_dataflow(
+        [12.0, 4.0], [ChannelSpec(0, 1, 2)], intervals=[4.0, 4.0]
+    )
+    deep, _ = simulate_dataflow(
+        [12.0, 4.0], [ChannelSpec(0, 1, 8)], intervals=[4.0, 4.0], frames=32
+    )
+    assert deep == 4.0
+    assert 4.0 < shallow < 12.0
+
+
+# ------------------------------------------------------------ determinism
+def test_simulate_schedule_is_deterministic():
+    first = _run("2mm")
+    second = _run("2mm")
+    for result in (first, second):
+        assert result.schedules
+    outcomes = []
+    for result in (first, second):
+        schedule = result.schedules[0]
+        outcomes.append(
+            simulate_schedule(
+                schedule, result.estimate.node_estimates, frames=48
+            )
+        )
+    assert outcomes[0] == outcomes[1]
+    # Re-simulating the *same* schedule object is bit-identical too.
+    schedule = first.schedules[0]
+    repeat = [
+        simulate_schedule(schedule, first.estimate.node_estimates, frames=48)
+        for _ in range(3)
+    ]
+    assert len(set(repeat)) == 1
+
+
+def test_build_channels_matches_schedule_structure():
+    result = _run("2mm")
+    nodes, channels = build_channels(result.schedules[0])
+    assert len(nodes) == len(result.schedules[0].nodes)
+    for channel in channels:
+        assert 0 <= channel.producer < len(nodes)
+        assert 0 <= channel.consumer < len(nodes)
+        assert channel.capacity >= 1
+
+
+# ------------------------------------- agreement with the analytic model
+def test_simulation_agrees_with_analytic_ordering_on_clear_gaps(tmp_path):
+    # Where the analytic estimator separates two designs of the same
+    # workload by more than 1.5x in latency, the simulator must rank them
+    # the same way — fidelity refines near-ties, it does not contradict
+    # clear wins.  (Pinned on the 2mm medium space; 100+ such pairs.)
+    space = build_space(
+        "medium", suite=[s for s in polybench_suite() if s.name == "2mm"]
+    )
+    estimate = explore(space, cache_dir=str(tmp_path))
+    simulate = explore(
+        space, cache_dir=str(tmp_path), fidelity="simulate", promote_top=1.0
+    )
+    analytic = {
+        r["point_key"]: r["summary"]["latency_cycles"]
+        for r in estimate.records
+        if "error" not in r
+    }
+    simulated = {
+        r["point_key"]: r["summary"]["latency_cycles"]
+        for r in simulate.records
+        if "error" not in r and r.get("fidelity") == "simulate"
+    }
+    assert set(simulated) == set(analytic)
+    checked = 0
+    for a, b in itertools.combinations(sorted(analytic), 2):
+        low, high = sorted((analytic[a], analytic[b]))
+        if high / max(low, 1.0) <= 1.5:
+            continue
+        checked += 1
+        assert (analytic[a] < analytic[b]) == (simulated[a] < simulated[b])
+    assert checked >= 50  # the property is exercised, not vacuous

@@ -1,0 +1,424 @@
+"""Tests of the multi-fidelity QoR subsystem (:mod:`repro.dse.fidelity`).
+
+The load-bearing properties: fixed-seed multi-fidelity runs are
+byte-identical across worker counts, warm reruns do zero compiles *and*
+zero simulations (both fidelity levels cache under non-colliding keys),
+promoted points enter the final frontier with simulator-fidelity records,
+simulation genuinely reorders the estimate-only frontier on a small space,
+budget counts distinct designs (promotions are free), and hypervolume
+patience stops stalled searches early.
+"""
+
+import json
+
+import pytest
+
+from repro.dse import (
+    DEFAULT_FIDELITY,
+    FidelityLevel,
+    PromotionPolicy,
+    available_fidelities,
+    best_fidelity_records,
+    build_space,
+    explore,
+    fidelity_rank,
+    get_fidelity,
+    polybench_suite,
+)
+from repro.dse.fidelity import register_fidelity
+
+
+def kernel_space(name, preset="medium"):
+    return build_space(
+        preset, suite=[s for s in polybench_suite() if s.name == name]
+    )
+
+
+def record_keys(result):
+    return [(r["point_key"], r.get("fidelity")) for r in result.records]
+
+
+def qor_only(summary):
+    return {k: v for k, v in summary.items() if k != "compile_seconds"}
+
+
+# ---------------------------------------------------------------- registry
+def test_fidelity_registry():
+    assert available_fidelities() == ["estimate", "simulate"]
+    assert get_fidelity("estimate").rank < get_fidelity("simulate").rank
+    assert fidelity_rank(None) == 0
+    assert fidelity_rank("estimate") == 0
+    assert fidelity_rank("simulate") == 1
+    with pytest.raises(ValueError, match="unknown fidelity"):
+        get_fidelity("rtl")
+    with pytest.raises(ValueError, match="already registered"):
+        register_fidelity(
+            FidelityLevel(name="simulate", rank=7, description="", apply=id)
+        )
+    with pytest.raises(ValueError, match="rank"):
+        register_fidelity(
+            FidelityLevel(name="other", rank=1, description="", apply=id)
+        )
+
+
+def test_promotion_policy_validation():
+    with pytest.raises(ValueError, match="promote_top"):
+        PromotionPolicy(promote_top=0.0)
+    with pytest.raises(ValueError, match="promote_top"):
+        PromotionPolicy(promote_top=1.5)
+    with pytest.raises(ValueError, match="unknown fidelity"):
+        PromotionPolicy(target="rtl")
+    policy = PromotionPolicy(promote_top=0.25)
+    assert policy.quota(0) == 0
+    assert policy.quota(1) == 1  # min_promote floor
+    assert policy.quota(8) == 2
+    assert PromotionPolicy(promote_top=1.0).quota(8) == 8
+
+
+def _record(key, workload, latency, fidelity="estimate", error=None):
+    record = {
+        "point_key": key,
+        "workload": workload,
+        "fidelity": fidelity,
+        "summary": {"latency_cycles": latency, "dsp": 1.0, "bram": 1.0},
+    }
+    if error:
+        record["error"] = error
+    return record
+
+
+def test_promotion_policy_selects_frontier_members_first():
+    policy = PromotionPolicy(promote_top=0.5)
+    candidates = [
+        _record("aaa", "k", 100.0),
+        _record("bbb", "k", 10.0),  # the frontier point
+        _record("ccc", "k", 50.0),
+        _record("ddd", "k", 60.0),
+    ]
+    chosen = policy.select(candidates, candidates)
+    assert len(chosen) == 2
+    assert chosen[0] == "bbb"  # frontier membership outranks everything
+    # Errored and already-promoted records are never candidates.
+    ineligible = [
+        _record("eee", "k", 1.0, error="boom"),
+        _record("fff", "k", 2.0, fidelity="simulate"),
+    ]
+    assert policy.select(ineligible, candidates) == []
+
+
+def test_best_fidelity_records_prefers_rank_and_skips_errors():
+    base = _record("aaa", "k", 100.0)
+    refined = _record("aaa", "k", 120.0, fidelity="simulate")
+    failed = _record("aaa", "k", 0.0, fidelity="simulate", error="boom")
+    other = _record("bbb", "k", 5.0)
+    assert best_fidelity_records([base, other, refined]) == [refined, other]
+    # An errored re-evaluation never hides a scored record.
+    assert best_fidelity_records([base, failed]) == [base]
+    # Order follows first appearance (determinism across worker counts).
+    assert [r["point_key"] for r in best_fidelity_records([other, base, refined])] == [
+        "bbb",
+        "aaa",
+    ]
+
+
+# ------------------------------------------------------------- validation
+def test_explore_rejects_bad_fidelity_arguments(tmp_path):
+    space = kernel_space("atax", "small")
+    with pytest.raises(ValueError, match="unknown fidelity"):
+        explore(space, use_cache=False, fidelity="rtl")
+    with pytest.raises(ValueError, match="promote_top"):
+        explore(space, use_cache=False, promote_top=0.5)
+    with pytest.raises(ValueError, match="patience"):
+        explore(space, use_cache=False, patience=2)
+    with pytest.raises(ValueError, match="patience must be >= 1"):
+        explore(space, use_cache=False, strategy="random", patience=0)
+    with pytest.raises(ValueError, match="resume"):
+        explore(
+            space, cache_dir=str(tmp_path), resume=True, fidelity="simulate"
+        )
+
+
+# ------------------------------------------------- full-sweep promotion
+def test_full_sweep_promotion_reranks_on_simulated_records(tmp_path):
+    space = kernel_space("2mm")
+    estimate_only = explore(space, cache_dir=str(tmp_path))
+    multi = explore(
+        space, cache_dir=str(tmp_path), fidelity="simulate", promote_top=1.0
+    )
+    assert estimate_only.fidelity == DEFAULT_FIDELITY
+    assert estimate_only.promote_top is None
+    assert multi.fidelity == "simulate"
+    assert multi.promote_top == 1.0
+    assert multi.num_promoted == len(space)
+    assert multi.num_points == 2 * len(space)
+    # Every frontier record is the simulator-fidelity one.
+    assert multi.frontier
+    assert all(r.get("fidelity") == "simulate" for r in multi.frontier)
+    # The acceptance bar: simulation *reorders* the estimate-only frontier
+    # on this small space (membership changes, not just values).
+    assert set(multi.frontier_keys()) != set(estimate_only.frontier_keys())
+
+
+def test_partial_promotion_keeps_estimate_records_competitive(tmp_path):
+    space = kernel_space("3mm")
+    result = explore(
+        space, cache_dir=str(tmp_path), fidelity="simulate", promote_top=0.25
+    )
+    promoted_keys = {
+        r["point_key"] for r in result.records if r.get("fidelity") == "simulate"
+    }
+    assert 0 < len(promoted_keys) < len(space)
+    # Frontier re-ranks on best-available fidelity: promoted members carry
+    # the simulate tag, unpromoted members stay analytic.
+    for record in result.frontier:
+        expected = "simulate" if record["point_key"] in promoted_keys else "estimate"
+        assert record.get("fidelity") == expected
+
+
+# ------------------------------------------------------------ determinism
+def test_multifidelity_search_deterministic_across_worker_counts(tmp_path):
+    space = build_space("medium", suite=polybench_suite()[:2])
+    results = []
+    for index, workers in enumerate((1, 2, 4)):
+        results.append(
+            explore(
+                space,
+                workers=workers,
+                cache_dir=str(tmp_path / f"cache{index}"),
+                strategy="genetic",
+                budget=10,
+                seed=7,
+                fidelity="simulate",
+                promote_top=0.5,
+            )
+        )
+    baseline = results[0]
+    assert baseline.num_promoted > 0
+    for other in results[1:]:
+        assert record_keys(other) == record_keys(baseline)
+        assert other.frontier_keys() == baseline.frontier_keys()
+        for left, right in zip(baseline.records, other.records):
+            assert qor_only(left.get("summary", {})) == qor_only(
+                right.get("summary", {})
+            )
+        assert other.generations == baseline.generations
+
+
+def test_multifidelity_warm_rerun_does_zero_compiles_or_simulations(tmp_path):
+    space = kernel_space("2mm")
+    kwargs = dict(
+        cache_dir=str(tmp_path),
+        strategy="genetic",
+        budget=8,
+        seed=2,
+        fidelity="simulate",
+        promote_top=0.5,
+    )
+    cold = explore(space, **kwargs)
+    warm = explore(space, **kwargs)
+    assert cold.num_promoted > 0
+    assert record_keys(warm) == record_keys(cold)
+    assert warm.frontier_keys() == cold.frontier_keys()
+    # Zero compiles AND zero simulations: every record at every fidelity
+    # level replays from its own cache entry.
+    assert warm.num_cached == warm.num_points
+    assert warm.cache_misses == 0
+
+
+def test_fidelity_levels_never_collide_in_the_cache(tmp_path):
+    space = kernel_space("atax", "small")
+    base = explore(space, cache_dir=str(tmp_path))
+    multi = explore(
+        space, cache_dir=str(tmp_path), fidelity="simulate", promote_top=1.0
+    )
+    # The base sweep warmed the estimate level only: the promoted level
+    # must re-evaluate (no key collision), while every estimate record
+    # replays from the first sweep's entries.
+    estimate_records = [
+        r for r in multi.records if r.get("fidelity") == "estimate"
+    ]
+    promoted_records = [
+        r for r in multi.records if r.get("fidelity") == "simulate"
+    ]
+    assert estimate_records and promoted_records
+    assert all(r["cached"] for r in estimate_records)
+    assert not any(r["cached"] for r in promoted_records)
+    assert base.cache_misses == len(space)
+    # Simulated and analytic summaries disagree (different models), which
+    # is only possible if the levels read different cache entries.
+    assert any(
+        e["summary"]["latency_cycles"] != p["summary"]["latency_cycles"]
+        for e, p in zip(estimate_records, promoted_records)
+        if e["point_key"] == p["point_key"]
+    )
+
+
+# ------------------------------------------------------------ budget rules
+def test_budget_counts_designs_not_promotions(tmp_path):
+    space = kernel_space("2mm")
+    result = explore(
+        space,
+        cache_dir=str(tmp_path),
+        strategy="genetic",
+        budget=8,
+        seed=0,
+        fidelity="simulate",
+        promote_top=0.5,
+    )
+    base_records = [
+        r for r in result.records if r.get("fidelity") == "estimate"
+    ]
+    assert len(base_records) == 8  # the budget, exactly
+    assert result.num_promoted > 0
+    assert result.num_points == 8 + result.num_promoted
+    for generation in result.generations:
+        assert generation["promoted"] <= generation["evaluated"]
+        assert "max_disagreement" in generation
+
+
+# ---------------------------------------------------------- early stopping
+def test_patience_stops_a_stalled_search(tmp_path):
+    # gesummv's medium space collapses to 3 distinct QoR vectors, so the
+    # frontier hypervolume saturates after the first generations and the
+    # patience rule must end the run before the budget does.
+    space = kernel_space("gesummv")
+    stopped = explore(
+        space,
+        cache_dir=str(tmp_path),
+        strategy="genetic",
+        budget=len(space),
+        seed=0,
+        strategy_options={"population": 3},
+        patience=2,
+    )
+    exhausted = explore(
+        space,
+        cache_dir=str(tmp_path),
+        strategy="genetic",
+        budget=len(space),
+        seed=0,
+        strategy_options={"population": 3},
+    )
+    assert stopped.stopped_early
+    assert not exhausted.stopped_early
+    assert stopped.num_points < exhausted.num_points
+    # The stall window is respected: the last `patience` generations did
+    # not improve hypervolume.
+    values = [g["hypervolume"] for g in stopped.generations]
+    assert values[-1] == pytest.approx(values[-2])
+
+
+# ------------------------------------------------------------ result model
+def test_fidelity_metadata_serializes(tmp_path):
+    from repro.evaluation import ExplorationResult
+
+    result = explore(
+        kernel_space("2mm"),
+        cache_dir=str(tmp_path),
+        strategy="genetic",
+        budget=6,
+        seed=1,
+        fidelity="simulate",
+        promote_top=0.5,
+    )
+    assert result.fidelity == "simulate"
+    restored = ExplorationResult.from_dict(json.loads(result.to_json()))
+    assert restored.fidelity == "simulate"
+    assert restored.promote_top == 0.5
+    assert restored.stopped_early is False
+    assert restored.num_promoted == result.num_promoted
+    assert restored.generations == result.generations
+    # The rendered reports carry the fidelity columns.
+    assert "fidelity" in result.frontier_table()
+    assert "promoted" in result.search_table()
+    table = result.disagreement_table()
+    assert "disagree" in table
+    rows = result.disagreements()
+    assert len(rows) == len({r["point_key"] for r in rows})
+    assert all(0.0 <= row["max_disagreement"] for row in rows)
+
+
+# ------------------------------------------------------------------- CLIs
+def test_dse_cli_list_fidelities_and_strategies(capsys):
+    from repro.dse.__main__ import main
+
+    assert main(["--list-fidelities"]) == 0
+    output = capsys.readouterr().out
+    assert "estimate" in output and "simulate" in output
+    assert main(["--list-strategies"]) == 0
+    output = capsys.readouterr().out
+    for name in ("anneal", "exhaustive", "genetic", "random"):
+        assert name in output
+    # Registered defaults are printed with each strategy.
+    assert "population=8" in output
+    assert "mutation_rate=0.25" in output
+
+
+def test_dse_cli_multifidelity_run(tmp_path, capsys):
+    from repro.dse.__main__ import main
+
+    code = main(
+        [
+            "--space",
+            "small",
+            "--workload",
+            "atax",
+            "--strategy",
+            "genetic",
+            "--budget",
+            "4",
+            "--fidelity",
+            "simulate",
+            "--promote-top",
+            "1.0",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+    )
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "fidelity" in output
+    assert "simulate" in output
+    assert "Fidelity disagreement" in output
+
+
+def test_dse_cli_rejects_bad_fidelity_combinations(tmp_path):
+    from repro.dse.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["--promote-top", "0.5"])  # needs --fidelity simulate
+    with pytest.raises(SystemExit):
+        main(["--fidelity", "simulate", "--promote-top", "2.0"])
+    with pytest.raises(SystemExit):
+        main(["--patience", "2"])  # needs --strategy
+    with pytest.raises(SystemExit):
+        main(["--resume", "--fidelity", "simulate"])
+
+
+def test_compiler_cli_fidelity(tmp_path, capsys):
+    from repro.compiler.__main__ import main
+
+    assert main(["--list-fidelities"]) == 0
+    assert "simulate" in capsys.readouterr().out
+    out_path = tmp_path / "qor.json"
+    assert (
+        main(
+            [
+                "--workload",
+                "2mm",
+                "--target",
+                "zu3eg",
+                "--fidelity",
+                "simulate",
+                "--json",
+                str(out_path),
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "simulate fidelity" in output
+    payload = json.loads(out_path.read_text())
+    assert payload["fidelity"] == "simulate"
+    with pytest.raises(SystemExit):
+        main(["--workload", "2mm", "--fidelity", "rtl"])
