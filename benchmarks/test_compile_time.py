@@ -10,6 +10,7 @@ import pytest
 from repro.frontend.cpp import build_kernel
 from repro.frontend.nn import build_model
 from repro.hida import HidaOptions, compile_module
+from repro.ir.printer import fingerprint_op, print_op
 
 
 @pytest.mark.parametrize("kernel", ["2mm", "atax", "correlation"])
@@ -37,3 +38,30 @@ def test_compile_time_dnn_model(benchmark, model):
     # The paper reports an average of ~109 s per model with Vitis HLS in the
     # loop; the pure compiler pass pipeline must stay well under that.
     assert result.compile_seconds < 120
+
+
+def test_print_and_fingerprint_largest_model(benchmark):
+    """Print + content-hash the largest zoo model (the IR-cache hot path).
+
+    Analysis caching, the IR snapshot cache and QoR-cache keys all funnel
+    through ``print_op``/``fingerprint_op``, so their cost on the biggest
+    module in the zoo is a first-class number.  The walk fingerprints every
+    nested op through one shared memo — the access pattern of a module-wide
+    analysis sweep, which without memoization is quadratic in module size.
+    """
+    module = build_model("mobilenet")  # largest zoo model by printed IR
+
+    def run():
+        text = print_op(module)
+        memo = {}
+        digests = [fingerprint_op(op, memo) for op in module.walk()]
+        return text, digests
+
+    text, digests = benchmark.pedantic(run, rounds=5, iterations=2)
+    assert len(text.splitlines()) > 100
+    assert len(digests) == len(set(id(op) for op in module.walk()))
+    # Memoized re-lookup must be cheap: the module digest is already in the
+    # memo, so fingerprinting the root again costs one dict probe.
+    memo = {}
+    fingerprint_op(module, memo)
+    assert fingerprint_op(module, memo) == fingerprint_op(module)

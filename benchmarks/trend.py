@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Compare a benchmark timing dump against the committed baseline.
+
+CI's perf-trend job runs the compile-time benchmarks with
+``--bench-json=BENCH_<run>.json`` (see ``benchmarks/conftest.py`` for the
+schema) and then calls::
+
+    python benchmarks/trend.py BENCH_<run>.json --baseline BENCH_baseline.json
+
+The script prints a per-benchmark trend table (baseline seconds, current
+seconds, delta) to stdout and, when ``$GITHUB_STEP_SUMMARY`` is set, appends
+the same table as GitHub-flavored markdown to the job summary.  It exits
+non-zero when any compile-time benchmark regresses by more than the
+threshold (default +25%), subject to a small absolute floor so sub-10ms
+benchmarks don't flap on runner noise.
+
+Benchmarks present on only one side are reported but never fail the run:
+new benchmarks have no baseline yet, and removed ones have no current
+timing.  Refresh the baseline by committing a new ``BENCH_baseline.json``
+produced on a quiet machine::
+
+    python -m pytest benchmarks -q -k compile_time --bench-json=BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Ignore regressions where the absolute slowdown is below this many
+#: seconds: timing noise on shared CI runners swamps sub-10ms deltas.
+ABS_FLOOR_SECONDS = 0.05
+
+
+def load_timings(path: str) -> Dict[str, float]:
+    """nodeid -> seconds for every *passed* benchmark in a ``--bench-json`` dump."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    benchmarks = payload.get("benchmarks", {})
+    timings = {}
+    for nodeid, record in benchmarks.items():
+        if record.get("outcome") != "passed":
+            continue
+        seconds = record.get("seconds")
+        if isinstance(seconds, (int, float)):
+            timings[nodeid] = float(seconds)
+    return timings
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float,
+) -> Tuple[List[Tuple[str, Optional[float], Optional[float], str]], List[str]]:
+    """Build (nodeid, base, cur, status) rows plus the list of regressions."""
+    rows = []
+    regressions = []
+    for nodeid in sorted(set(baseline) | set(current)):
+        base = baseline.get(nodeid)
+        cur = current.get(nodeid)
+        if base is None:
+            status = "new"
+        elif cur is None:
+            status = "removed"
+        else:
+            delta = cur - base
+            ratio = (cur / base - 1.0) if base > 0 else 0.0
+            status = f"{ratio:+.1%}"
+            if ratio > threshold and delta > ABS_FLOOR_SECONDS:
+                status += "  REGRESSION"
+                regressions.append(
+                    f"{nodeid}: {base:.3f}s -> {cur:.3f}s ({ratio:+.1%})"
+                )
+        rows.append((nodeid, base, cur, status))
+    return rows, regressions
+
+
+def _fmt(seconds: Optional[float]) -> str:
+    return f"{seconds:.3f}" if seconds is not None else "-"
+
+
+def render_text(rows) -> str:
+    width = max([len(r[0]) for r in rows] + [len("benchmark")])
+    lines = [
+        f"{'benchmark':<{width}}  {'base (s)':>9}  {'cur (s)':>9}  trend",
+        f"{'-' * width}  {'-' * 9}  {'-' * 9}  -----",
+    ]
+    for nodeid, base, cur, status in rows:
+        lines.append(
+            f"{nodeid:<{width}}  {_fmt(base):>9}  {_fmt(cur):>9}  {status}"
+        )
+    return "\n".join(lines)
+
+
+def render_markdown(rows, regressions, threshold: float) -> str:
+    lines = [
+        "### Compile-time benchmark trend",
+        "",
+        "| benchmark | baseline (s) | current (s) | trend |",
+        "| --- | ---: | ---: | --- |",
+    ]
+    for nodeid, base, cur, status in rows:
+        lines.append(f"| `{nodeid}` | {_fmt(base)} | {_fmt(cur)} | {status} |")
+    lines.append("")
+    if regressions:
+        lines.append(
+            f"**{len(regressions)} benchmark(s) regressed beyond "
+            f"{threshold:.0%}** — refresh `BENCH_baseline.json` only if the "
+            "slowdown is intentional."
+        )
+    else:
+        lines.append(f"No regressions beyond {threshold:.0%}.")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail CI when compile-time benchmarks regress vs the baseline."
+    )
+    parser.add_argument("current", help="--bench-json dump from this run")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_baseline.json"),
+        help="committed baseline dump (default: BENCH_baseline.json at repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional slowdown that fails the run (default: 0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_timings(args.baseline)
+    current = load_timings(args.current)
+    if not current:
+        print(f"error: no passed benchmarks in {args.current}", file=sys.stderr)
+        return 2
+
+    rows, regressions = compare(baseline, current, args.threshold)
+    print(render_text(rows))
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(render_markdown(rows, regressions, args.threshold))
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%} (and >{ABS_FLOOR_SECONDS * 1e3:.0f}ms):",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

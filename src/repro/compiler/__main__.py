@@ -116,6 +116,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the IR after every stage (or only after STAGE)",
     )
     parser.add_argument(
+        "--ir-cache",
+        action="store_true",
+        help="reuse stage-boundary IR snapshots from the incremental "
+        "compilation cache (and store new ones)",
+    )
+    parser.add_argument(
+        "--ir-cache-dir",
+        default=None,
+        metavar="PATH",
+        help="IR snapshot cache directory (default: $REPRO_IR_CACHE or "
+        "~/.cache/repro/ir; requires --ir-cache)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print IR-cache statistics (prefix hits, stages skipped, "
+        "frontend traces, snapshots stored) after the run",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -192,6 +211,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except UnknownTargetError as error:
         parser.error(str(error))
     platform_name = target.name
+    if args.ir_cache_dir is not None and not args.ir_cache:
+        parser.error("--ir-cache-dir requires --ir-cache")
+    ir_cache = None
+    if args.ir_cache:
+        from .ircache import IRSnapshotCache
+
+        ir_cache = IRSnapshotCache(args.ir_cache_dir)
 
     timing = TimingObserver()
     diagnostics = DiagnosticsObserver()
@@ -220,10 +246,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"platform: {platform_name}   spec-hash: {compiler.spec_hash()}")
 
     try:
-        result = compiler.run(workload=args.workload)
+        result = compiler.run(workload=args.workload, ir_cache=ir_cache)
     except PipelineSpecError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+    if args.cache_stats:
+        stats = compiler.ir_cache_stats
+        print("\nir-cache stats:")
+        for key in (
+            "prefix_hits",
+            "stages_skipped",
+            "stages_run",
+            "frontend_traces",
+            "snapshots_stored",
+        ):
+            print(f"  {key}: {stats[key]}")
 
     if snapshots is not None:
         for stage_name, text in snapshots.snapshots:

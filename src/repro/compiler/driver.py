@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..estimation.platform import get_platform
 from ..ir.builtin import ModuleOp
 from ..ir.verifier import verify
+from .ircache import IRSnapshotCache, workload_cache_key
 from .spec import PipelineSpec, PipelineSpecError, parse_pipeline
 from .stages import (
     CompilationStage,
@@ -53,6 +54,16 @@ DEFAULT_PIPELINE = (
 
 def default_pipeline_spec() -> PipelineSpec:
     return parse_pipeline(DEFAULT_PIPELINE)
+
+
+#: Template for :attr:`Compiler.ir_cache_stats` (one instance per run).
+_ZERO_IR_STATS = {
+    "prefix_hits": 0,
+    "stages_skipped": 0,
+    "stages_run": 0,
+    "frontend_traces": 0,
+    "snapshots_stored": 0,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -148,6 +159,11 @@ class Compiler:
         self.verify_each = verify_each
         self.observers: List[PipelineObserver] = list(observers)
         self._legacy_options = None
+        #: Incremental-compilation counters of the most recent :meth:`run`
+        #: (all zero when it ran without an IR cache).  Lives on the
+        #: compiler rather than :class:`CompileResult` so result records
+        #: stay byte-identical with the cache on or off.
+        self.ir_cache_stats: Dict[str, int] = dict(_ZERO_IR_STATS)
 
     # ------------------------------------------------------------- builders
     @classmethod
@@ -206,8 +222,39 @@ class Compiler:
         for observer in self.observers:
             observer.on_diagnostic(diagnostic)
 
+    # -------------------------------------------------- incremental helpers
+    def snapshot_boundaries(self) -> List[int]:
+        """Stage counts ``i`` whose exit boundary is snapshot-reconstructible.
+
+        A boundary after ``stages[:i]`` is usable only when *every* stage in
+        that prefix declares :attr:`~CompilationStage.snapshot_safe` — one
+        unsafe stage poisons all later boundaries, because its (module-
+        external) results would be missing from any resumed state.
+        """
+        boundaries: List[int] = []
+        for i, stage in enumerate(self.stages, start=1):
+            if not stage.snapshot_safe:
+                break
+            boundaries.append(i)
+        return boundaries
+
+    def prefix_hashes(self) -> List[str]:
+        """``prefix_hashes()[i]`` hashes the canonical spec of ``stages[:i]``."""
+        specs = [stage.to_spec().print() for stage in self.stages]
+        return [
+            IRSnapshotCache.prefix_hash(",".join(specs[:i]))
+            for i in range(len(specs) + 1)
+        ]
+
     # ------------------------------------------------------------ execution
-    def run(self, module: Optional[ModuleOp] = None, *, workload=None):
+    def run(
+        self,
+        module: Optional[ModuleOp] = None,
+        *,
+        workload=None,
+        ir_cache: Optional[IRSnapshotCache] = None,
+        workload_key: Optional[str] = None,
+    ):
         """Run every stage over ``module`` (modified in place).
 
         Instead of a pre-built module, ``workload`` accepts anything the
@@ -216,6 +263,21 @@ class Compiler:
         handle or a :class:`~repro.hida.pipeline.WorkloadSpec` — and builds
         the module first (``Compiler.from_spec(...).run(workload="2mm")``).
 
+        With an :class:`~repro.compiler.ircache.IRSnapshotCache`, the run
+        first probes for the *longest* cached snapshot-safe stage prefix of
+        this pipeline and, on a hit, rehydrates the compilation state from
+        printed IR and resumes mid-pipeline — skipping the frontend trace
+        entirely on the workload path.  On a miss it compiles normally and
+        stores a snapshot at every snapshot-safe boundary it crosses.
+        ``workload_key`` overrides the cache identity of the input (needed
+        when passing a raw module that nevertheless has a stable identity);
+        by default it derives from ``workload`` or, for raw modules, from
+        the module's content fingerprint.  Counters for the run land in
+        :attr:`ir_cache_stats`; results are bit-for-bit independent of the
+        cache (snapshots self-verify at store time), with one observable
+        difference: skipped stages emit no diagnostics and re-run no
+        observers.
+
         Returns a :class:`~repro.hida.pipeline.CompileResult`.  Raises
         :class:`~repro.compiler.spec.PipelineSpecError` when the pipeline
         produced no QoR estimate (i.e. it lacks an ``estimate`` stage);
@@ -223,27 +285,69 @@ class Compiler:
         """
         from ..hida.pipeline import CompileResult
 
-        if workload is not None:
-            if module is not None:
-                raise TypeError("pass either module or workload=..., not both")
-            from ..workloads import as_module
-
-            module = as_module(workload)
-        elif module is None:
+        if workload is not None and module is not None:
+            raise TypeError("pass either module or workload=..., not both")
+        if workload is None and module is None:
             raise TypeError("Compiler.run() needs a module or workload=...")
-        elif not isinstance(module, ModuleOp):
+        if module is not None and not isinstance(module, ModuleOp):
             # Convenience: run("2mm") / run(handle) resolve via the registry.
-            from ..workloads import as_module
+            workload, module = module, None
 
-            module = as_module(module)
+        stats = dict(_ZERO_IR_STATS)
+        self.ir_cache_stats = stats
 
-        state = CompilationState(module=module, platform=get_platform(self.platform))
+        if ir_cache is not None and workload_key is None:
+            if workload is not None:
+                workload_key = workload_cache_key(workload)
+            else:
+                # Raw modules have no registry identity; their content
+                # fingerprint still lets identical inputs share snapshots.
+                from ..ir.printer import fingerprint_op
+
+                workload_key = f"fp:{fingerprint_op(module)}"
+
+        state: Optional[CompilationState] = None
+        resume_index = 0
+        boundaries = (
+            self.snapshot_boundaries()
+            if ir_cache is not None and workload_key is not None
+            else []
+        )
+        hashes = self.prefix_hashes() if boundaries else []
+        for i in reversed(boundaries):
+            restored = ir_cache.load(workload_key, self.platform, hashes[i])
+            if restored is None:
+                continue
+            module, schedules, balance_report, misalignments = restored
+            state = CompilationState(
+                module=module,
+                platform=get_platform(self.platform),
+                schedules=schedules,
+                balance_report=balance_report,
+                misalignments=misalignments,
+            )
+            resume_index = i
+            stats["prefix_hits"] = 1
+            stats["stages_skipped"] = i
+            break
+
+        if state is None:
+            if module is None:
+                from ..workloads import as_module
+
+                module = as_module(workload)
+                stats["frontend_traces"] = 1
+            state = CompilationState(
+                module=module, platform=get_platform(self.platform)
+            )
         state._sink = self._emit_diagnostic
         stage_seconds: Dict[str, float] = {}
         start = time.perf_counter()
         for observer in self.observers:
             observer.on_pipeline_start(self, module)
-        for stage in self.stages:
+        for index, stage in enumerate(self.stages):
+            if index < resume_index:
+                continue  # resumed past this stage from a snapshot
             for observer in self.observers:
                 observer.on_stage_start(stage, state)
             stage_start = time.perf_counter()
@@ -255,6 +359,13 @@ class Compiler:
                 observer.on_stage_end(stage, state, elapsed)
             if self.verify_each:
                 verify(module)
+            stats["stages_run"] += 1
+            boundary = index + 1
+            if boundary in boundaries and boundary > resume_index:
+                if ir_cache.store(
+                    workload_key, self.platform, hashes[boundary], state
+                ):
+                    stats["snapshots_stored"] += 1
         if state.estimate is None:
             raise PipelineSpecError(
                 f"pipeline {self.spec_text()!r} produced no QoR estimate; "

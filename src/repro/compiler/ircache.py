@@ -1,0 +1,268 @@
+"""Content-addressed stage-boundary IR snapshot cache.
+
+Design-space exploration compiles thousands of points that share a pipeline
+*prefix*: the same workload, target and leading stages, differing only in
+trailing knobs (parallelize factors, estimate flavor).  This module caches
+the compilation state at stage boundaries so :meth:`Compiler.run
+<repro.compiler.driver.Compiler.run>` can resume mid-pipeline instead of
+recompiling from the frontend.
+
+A snapshot is keyed by::
+
+    ir|v<SCHEMA_VERSION>|<workload key>|<platform>|<prefix hash>
+
+* ``workload key`` — the registry workload id with its bound parameters
+  (``nn:lenet@batch=4``); runs over raw modules key by the module's
+  content fingerprint instead.
+* ``platform`` — the target name; stages consult platform parameters, so
+  snapshots never cross targets.
+* ``prefix hash`` — SHA-256 of the canonical printed spec of the stage
+  prefix the snapshot sits behind.  Canonical spec printing omits
+  options equal to their defaults, so equivalent prefixes share entries.
+* ``SCHEMA_VERSION`` — bumped whenever the payload layout or the printed
+  IR grammar changes; stale entries then miss instead of mis-parsing.
+
+The payload is *printed IR text* (see :mod:`repro.ir.printer` /
+:mod:`repro.ir.parser`) plus a name-hint sidecar and the small JSON-safe
+extras a :class:`~repro.compiler.stages.CompilationState` accumulates
+through snapshot-safe stages (balance counters, misalignments).  Schedules
+are not serialized separately — they are re-collected by walking the parsed
+module, which the snapshot self-verifies at save time: every snapshot is
+parsed back, re-printed and byte-compared before it is stored, and anything
+that fails the round-trip is refused.  A cache can therefore never serve a
+state that differs from what the cold compile produced.
+
+Storage reuses the :class:`~repro.dse.cache.QoRCache` store: two-level
+fan-out of JSON files under ``~/.cache/repro/ir`` (override with
+``$REPRO_IR_CACHE`` or ``--ir-cache-dir``), atomic tmp+rename writes, and
+deterministic size-capped LRU eviction (mtime with path tiebreak).
+
+Alongside snapshots the cache keeps a tiny *frontend fingerprint memo*
+(workload key -> module content fingerprint), which lets DSE workers
+compute QoR-cache keys for warm workloads without re-tracing the frontend
+at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..dialects.dataflow import ScheduleOp
+from ..hida.dataflow_opt import BalanceReport
+from ..ir.builtin import ModuleOp
+from ..ir.parser import IRParseError, assign_name_hints, collect_name_hints, parse_op
+from ..ir.printer import print_op
+from .stages import CompilationState
+
+__all__ = [
+    "IRSnapshotCache",
+    "default_ir_cache_dir",
+    "workload_cache_key",
+    "SCHEMA_VERSION",
+]
+
+#: Snapshot schema version: bump when the payload layout, the printed IR
+#: grammar, or the semantics of any snapshot-safe stage change.
+SCHEMA_VERSION = 1
+
+
+def default_ir_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_IR_CACHE`` or ``~/.cache/repro/ir``."""
+    override = os.environ.get("REPRO_IR_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "ir"
+
+
+def workload_cache_key(workload: object) -> Optional[str]:
+    """Stable identity string for a workload reference, or None.
+
+    Accepts everything :func:`repro.workloads.as_module` accepts except a
+    pre-built module: a workload id string, a bound
+    :class:`~repro.workloads.registry.Workload` handle, or a
+    :class:`~repro.hida.pipeline.WorkloadSpec`.  Raw modules have no
+    registry identity — callers key those by content fingerprint instead.
+    """
+    if isinstance(workload, str):
+        return workload
+    from ..workloads.registry import Workload
+
+    if isinstance(workload, Workload):
+        return workload.workload_id
+    from ..hida.pipeline import WorkloadSpec
+
+    if isinstance(workload, WorkloadSpec):
+        params = ",".join(
+            f"{key}={value}" for key, value in sorted(workload.params)
+        )
+        return f"{workload.kind}:{workload.name}@batch={workload.batch}|{params}"
+    return None
+
+
+class IRSnapshotCache:
+    """File-backed store of stage-boundary compilation-state snapshots."""
+
+    def __init__(
+        self, root: Optional[os.PathLike] = None, max_entries: int = 4096
+    ) -> None:
+        # Imported lazily: repro.dse pulls in the DSE runner (and thus this
+        # package) at import time, so a module-level import would cycle.
+        from ..dse.cache import QoRCache
+
+        self._store = QoRCache(
+            root=Path(root) if root is not None else default_ir_cache_dir(),
+            max_entries=max_entries,
+        )
+        #: Snapshots served this process (longest-prefix probe successes).
+        self.hits = 0
+        #: Probes that found nothing usable.
+        self.misses = 0
+        #: Snapshots written this process.
+        self.stores = 0
+        #: Snapshots refused because the print->parse->print round-trip or
+        #: the schedule re-collection failed self-verification.
+        self.verify_failures = 0
+
+    @property
+    def root(self) -> Path:
+        return self._store.root
+
+    # ----------------------------------------------------------------- keys
+    @staticmethod
+    def snapshot_key(workload_key: str, platform: str, prefix_hash: str) -> str:
+        return f"ir|v{SCHEMA_VERSION}|{workload_key}|{platform}|{prefix_hash}"
+
+    @staticmethod
+    def fingerprint_key(workload_key: str) -> str:
+        return f"irfp|v{SCHEMA_VERSION}|{workload_key}"
+
+    @staticmethod
+    def prefix_hash(spec_prefix_text: str) -> str:
+        """Hash of a canonical printed pipeline-spec prefix."""
+        return hashlib.sha256(spec_prefix_text.encode("utf-8")).hexdigest()[:16]
+
+    # ---------------------------------------------------- frontend fingerprints
+    def get_fingerprint(self, workload_key: str) -> Optional[str]:
+        """Cached frontend-module content fingerprint for a workload."""
+        payload = self._store.get(self.fingerprint_key(workload_key))
+        if payload is None:
+            return None
+        fingerprint = payload.get("fingerprint")
+        return fingerprint if isinstance(fingerprint, str) else None
+
+    def put_fingerprint(self, workload_key: str, fingerprint: str) -> None:
+        self._store.put(
+            self.fingerprint_key(workload_key), {"fingerprint": fingerprint}
+        )
+
+    # ------------------------------------------------------------- snapshots
+    def store(
+        self,
+        workload_key: str,
+        platform: str,
+        prefix_hash: str,
+        state: CompilationState,
+    ) -> bool:
+        """Snapshot ``state`` at a stage boundary; returns True if written.
+
+        The snapshot is self-verified before it is written: the printed
+        module must parse back to byte-identical text (with the name-hint
+        sidecar applied) and re-collect exactly the schedules the live
+        state holds.  Failing either check refuses the snapshot — the run
+        continues uncached rather than risking a divergent warm path.
+        """
+        key = self.snapshot_key(workload_key, platform, prefix_hash)
+        if self._store.get(key) is not None:
+            return False  # identical content by construction of the key
+        text = print_op(state.module)
+        hints = collect_name_hints(state.module)
+        try:
+            clone = parse_op(text)
+            assign_name_hints(clone, hints)
+            if print_op(clone) != text:
+                raise IRParseError("re-printed snapshot differs")
+            recollected = _collect_schedules(clone)
+            if len(recollected) != len(state.schedules):
+                raise IRParseError(
+                    f"snapshot re-collects {len(recollected)} schedule(s), "
+                    f"state holds {len(state.schedules)}"
+                )
+        except IRParseError:
+            self.verify_failures += 1
+            return False
+        payload = {
+            "ir": text,
+            "hints": hints,
+            "balance": {
+                "buffers_deepened": state.balance_report.buffers_deepened,
+                "copy_nodes_inserted": state.balance_report.copy_nodes_inserted,
+                "soft_fifos": state.balance_report.soft_fifos,
+                "token_streams": state.balance_report.token_streams,
+            },
+            "misalignments": state.misalignments,
+            "num_schedules": len(state.schedules),
+        }
+        self._store.put(key, payload)
+        self.stores += 1
+        return True
+
+    def load(
+        self, workload_key: str, platform: str, prefix_hash: str
+    ) -> Optional[Tuple[ModuleOp, List[ScheduleOp], BalanceReport, int]]:
+        """Rehydrate a snapshot: (module, schedules, balance report, misalignments).
+
+        Returns None on a miss or on any payload that fails to parse back
+        cleanly (treated as a miss — the caller recompiles and overwrites).
+        """
+        payload = self._store.get(
+            self.snapshot_key(workload_key, platform, prefix_hash)
+        )
+        if payload is None:
+            self.misses += 1
+            return None
+        try:
+            module = parse_op(payload["ir"])
+            assign_name_hints(module, payload["hints"])
+            if not isinstance(module, ModuleOp):
+                raise IRParseError("snapshot root is not a module")
+            schedules = _collect_schedules(module)
+            if len(schedules) != int(payload["num_schedules"]):
+                raise IRParseError("schedule count mismatch")
+            balance = BalanceReport(**payload["balance"])
+            misalignments = int(payload["misalignments"])
+        except (IRParseError, KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return module, schedules, balance, misalignments
+
+    # ----------------------------------------------------------- maintenance
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        return self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:
+        return (
+            f"IRSnapshotCache({str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses}, stores={self.stores})"
+        )
+
+
+def _collect_schedules(module: ModuleOp) -> List[ScheduleOp]:
+    """Re-collect schedule ops exactly as ``lower-structural`` ordered them.
+
+    ``CompilationState.schedules`` is the list returned by the structural
+    lowering; its order matches a function-order walk of the module, which
+    is what makes re-collection from a parsed snapshot faithful (verified
+    per-snapshot at store time via the count, and property-tested across
+    the workload zoo).
+    """
+    return [
+        op for func in module.functions for op in func.walk_ops(ScheduleOp)
+    ]

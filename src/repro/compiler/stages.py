@@ -180,6 +180,13 @@ class CompilationStage(abc.ABC):
     timing_key: ClassVar[str] = ""
     #: Declared options, in canonical printing order.
     option_decls: ClassVar[Tuple[StageOption, ...]] = ()
+    #: Whether the compilation state at this stage's *exit* boundary can be
+    #: reconstructed from a printed-IR snapshot (module text plus the small
+    #: JSON extras captured by :mod:`repro.compiler.ircache`).  Stages whose
+    #: results live outside the module — e.g. ``parallelize``'s factor maps
+    #: or ``estimate``'s :class:`DesignEstimate` — must declare ``False``,
+    #: which also blocks snapshotting at every later boundary.
+    snapshot_safe: ClassVar[bool] = False
 
     def __init__(self, **options) -> None:
         decls = {decl.attr: decl for decl in self.option_decls}
@@ -285,6 +292,7 @@ class ConstructDataflowStage(CompilationStage):
 
     name = "construct-dataflow"
     timing_key = "construct"
+    snapshot_safe = True
 
     def run(self, state: CompilationState) -> None:
         wrapped = construct_functional_dataflow(state.module)
@@ -297,6 +305,7 @@ class FuseTasksStage(CompilationStage):
 
     name = "fuse-tasks"
     timing_key = "fusion"
+    snapshot_safe = True
     option_decls = (
         StageOption(
             "patterns",
@@ -339,6 +348,7 @@ class LowerLinalgStage(CompilationStage):
 
     name = "lower-linalg"
     timing_key = "bufferize"
+    snapshot_safe = True
 
     def run(self, state: CompilationState) -> None:
         has_linalg = any(
@@ -356,6 +366,7 @@ class LowerStructuralStage(CompilationStage):
 
     name = "lower-structural"
     timing_key = "structural"
+    snapshot_safe = True
 
     def run(self, state: CompilationState) -> None:
         state.schedules = list(lower_to_structural_dataflow(state.module))
@@ -372,6 +383,7 @@ class EliminateMultiProducersStage(CompilationStage):
 
     name = "eliminate-multi-producers"
     timing_key = "dataflow-opt"
+    snapshot_safe = True
 
     def run(self, state: CompilationState) -> None:
         for schedule in state.schedules:
@@ -384,6 +396,7 @@ class BalanceStage(CompilationStage):
 
     name = "balance"
     timing_key = "dataflow-opt"
+    snapshot_safe = True
     option_decls = (
         StageOption(
             "budget", int, _DEFAULT_BIT_BUDGET, "on-chip buffer budget in bits"
@@ -421,6 +434,7 @@ class TileStage(CompilationStage):
 
     name = "tile"
     timing_key = "dataflow-opt"
+    snapshot_safe = True
     option_decls = (
         StageOption("size", int, 16, "tile edge length in elements (0 disables)"),
     )

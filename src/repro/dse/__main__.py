@@ -188,6 +188,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the QoR cache"
     )
     parser.add_argument(
+        "--ir-cache",
+        action="store_true",
+        help="enable the stage-boundary IR snapshot cache: compilations "
+        "sharing a pipeline prefix resume mid-pipeline instead of "
+        "recompiling from the frontend (results are byte-identical)",
+    )
+    parser.add_argument(
+        "--no-ir-cache",
+        action="store_true",
+        help="explicitly disable the IR snapshot cache (the default; "
+        "counterpart of --ir-cache for scripts)",
+    )
+    parser.add_argument(
+        "--ir-cache-dir",
+        default=None,
+        metavar="PATH",
+        help="IR snapshot cache directory (default: $REPRO_IR_CACHE or "
+        "~/.cache/repro/ir; needs --ir-cache)",
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help="stream already-cached points into the result and skip the "
@@ -307,6 +327,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.resume and args.no_cache:
         parser.error("--resume needs the QoR cache; drop --no-cache")
 
+    if args.ir_cache and args.no_ir_cache:
+        parser.error("--ir-cache and --no-ir-cache are mutually exclusive")
+    if args.ir_cache_dir and not args.ir_cache:
+        parser.error("--ir-cache-dir needs --ir-cache")
+
     if args.workloads:
         try:
             suite = suite_from_names(args.workloads)
@@ -383,6 +408,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         fidelity=args.fidelity,
         promote_top=args.promote_top,
         patience=args.patience,
+        ir_cache=args.ir_cache,
+        ir_cache_dir=args.ir_cache_dir,
     )
 
     if result.strategy:
@@ -415,6 +442,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"budget in {len(result.generations)} generation(s)"
             + (" [stopped early]" if result.stopped_early else "")
             if result.strategy
+            else ""
+        )
+        + (
+            f"; IR cache: {result.prefix_hits} prefix hit(s), "
+            f"{result.stages_skipped} stage execution(s) skipped"
+            if args.ir_cache
             else ""
         )
     )

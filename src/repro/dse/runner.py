@@ -37,6 +37,11 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..compiler.ircache import (
+    IRSnapshotCache,
+    default_ir_cache_dir,
+    workload_cache_key,
+)
 from ..estimation.qor import QoREstimator
 from ..evaluation.reporting import ExplorationResult, relative_disagreement
 from ..ir.printer import fingerprint_op
@@ -100,10 +105,37 @@ def _point_cache_key(
     return key
 
 
+def _resolve_fingerprint(spec, ir_cache) -> tuple:
+    """``(fingerprint, module, traces)`` for a workload spec.
+
+    Resolution order: per-process memo, then the IR cache's persistent
+    frontend-fingerprint memo (which makes warm processes and fresh workers
+    alike skip the frontend trace entirely), then an actual trace — whose
+    fingerprint is published back to both memos.  ``traces`` counts how
+    many frontend traces this call performed (0 or 1).
+    """
+    fingerprint = _WORKLOAD_FINGERPRINTS.get(spec)
+    if fingerprint is not None:
+        return fingerprint, None, 0
+    workload_key = workload_cache_key(spec)
+    if ir_cache is not None and workload_key is not None:
+        fingerprint = ir_cache.get_fingerprint(workload_key)
+        if fingerprint is not None:
+            _WORKLOAD_FINGERPRINTS[spec] = fingerprint
+            return fingerprint, None, 0
+    module = spec.build()
+    fingerprint = fingerprint_op(module)
+    _WORKLOAD_FINGERPRINTS[spec] = fingerprint
+    if ir_cache is not None and workload_key is not None:
+        ir_cache.put_fingerprint(workload_key, fingerprint)
+    return fingerprint, module, 1
+
+
 def evaluate_point(
     point: DesignPoint,
     cache_dir: Optional[str] = None,
     fidelity: str = DEFAULT_FIDELITY,
+    ir_cache_dir: Optional[str] = None,
 ) -> Dict:
     """Evaluate one design point; safe to call in a worker process.
 
@@ -116,20 +148,36 @@ def evaluate_point(
     can re-rank on the most trusted record per point.  Never raises:
     failures come back as records with an ``"error"`` field so one broken
     point cannot sink a whole sweep.
+
+    ``ir_cache_dir`` enables the stage-boundary IR snapshot cache
+    (:mod:`repro.compiler.ircache`): the workload fingerprint resolves from
+    the cache's frontend memo instead of a fresh trace where possible, and
+    a QoR-cache miss compiles through :meth:`Compiler.run
+    <repro.compiler.driver.Compiler.run>` with prefix resumption.  The
+    run's reuse counters travel under the record's ``"ir_cache"`` key,
+    which :func:`explore` pops into aggregate statistics — cached QoR
+    records themselves stay byte-identical with the IR cache on or off.
     """
     record = _record_for_point(point)
     record["fidelity"] = fidelity
     started = time.perf_counter()
+    ir_stats: Optional[Dict[str, int]] = None
     try:
         level = get_fidelity(fidelity)
         compiler = point.compiler()
         spec = point.workload_spec()
-        module = None
-        fingerprint = _WORKLOAD_FINGERPRINTS.get(spec)
-        if fingerprint is None:
-            module = spec.build()
-            fingerprint = fingerprint_op(module)
-            _WORKLOAD_FINGERPRINTS[spec] = fingerprint
+        ir_cache = IRSnapshotCache(ir_cache_dir) if ir_cache_dir else None
+        if ir_cache is not None:
+            ir_stats = {
+                "prefix_hits": 0,
+                "stages_skipped": 0,
+                "stages_run": 0,
+                "frontend_traces": 0,
+                "snapshots_stored": 0,
+            }
+        fingerprint, module, traces = _resolve_fingerprint(spec, ir_cache)
+        if ir_stats is not None:
+            ir_stats["frontend_traces"] += traces
         record["module_fingerprint"] = fingerprint
         record["pipeline_spec"] = compiler.spec_text()
         cache = QoRCache(cache_dir) if cache_dir else None
@@ -142,11 +190,26 @@ def evaluate_point(
                 record.update(cached)
                 record["cached"] = True
                 record["fidelity"] = fidelity
+                if ir_stats is not None:
+                    record["ir_cache"] = ir_stats
                 record["eval_seconds"] = time.perf_counter() - started
                 return record
-        if module is None:
-            module = spec.build()
-        result = compiler.run(module)
+        if ir_cache is not None:
+            # Hand the *spec* through when no module is in hand: on a
+            # prefix hit the driver rehydrates from the snapshot and the
+            # frontend never runs in this process at all.
+            if module is not None:
+                result = compiler.run(
+                    module, ir_cache=ir_cache, workload_key=workload_cache_key(spec)
+                )
+            else:
+                result = compiler.run(workload=spec, ir_cache=ir_cache)
+            for name, value in compiler.ir_cache_stats.items():
+                ir_stats[name] = ir_stats.get(name, 0) + value
+        else:
+            if module is None:
+                module = spec.build()
+            result = compiler.run(module)
         payload = level.apply(result)
         if cache is not None:
             cache.put(key, payload)
@@ -155,12 +218,17 @@ def evaluate_point(
     except Exception:
         record["error"] = traceback.format_exc(limit=8)
         record["cached"] = False
+    if ir_stats is not None:
+        record["ir_cache"] = ir_stats
     record["eval_seconds"] = time.perf_counter() - started
     return record
 
 
 def _replay_cached(
-    point: DesignPoint, cache_dir: str, fidelity: str = DEFAULT_FIDELITY
+    point: DesignPoint,
+    cache_dir: str,
+    fidelity: str = DEFAULT_FIDELITY,
+    ir_cache_dir: Optional[str] = None,
 ) -> Optional[Dict]:
     """Parent-side cache probe: a completed record on a hit, else None.
 
@@ -174,10 +242,8 @@ def _replay_cached(
     try:
         spec = point.workload_spec()
         spec_text = point.canonical_spec()
-        fingerprint = _WORKLOAD_FINGERPRINTS.get(spec)
-        if fingerprint is None:
-            fingerprint = fingerprint_op(spec.build())
-            _WORKLOAD_FINGERPRINTS[spec] = fingerprint
+        ir_cache = IRSnapshotCache(ir_cache_dir) if ir_cache_dir else None
+        fingerprint, _, _ = _resolve_fingerprint(spec, ir_cache)
         key = _point_cache_key(fingerprint, point.platform, spec_text, fidelity)
         cached = QoRCache(cache_dir).get(key)
         if cached is None:
@@ -237,6 +303,38 @@ def _make_pool(workers: int, points: Sequence[DesignPoint]) -> ProcessPoolExecut
     )
 
 
+def _prefix_group_order(point: DesignPoint) -> tuple:
+    """Sort key grouping points that share compilation prefixes.
+
+    Points of the same workload, platform and canonical-spec prefix land in
+    adjacent ``pool.map`` chunks, so one worker compiles the shared prefix
+    and its chunk-mates resume from the just-written snapshot instead of
+    racing other workers to compile it.  Canonical specs sort stage-by-
+    stage from the front, so the longest shared prefixes cluster tightest.
+    The final record order is restored from the batch order afterwards, so
+    grouping never changes any output — only which process compiles what.
+    """
+    return (point.workload, point.platform, point.canonical_spec(), point.key())
+
+
+def _merge_ir_stats(records: List[Dict]) -> Dict[str, int]:
+    """Pop per-record ``"ir_cache"`` counters and sum them.
+
+    The counters are *popped*, not copied: records (and therefore frontier
+    JSON, result files and fixed-seed comparisons) stay byte-identical with
+    the IR cache on or off; reuse statistics surface only through
+    :class:`~repro.evaluation.reporting.ExplorationResult` aggregates.
+    """
+    totals: Dict[str, int] = {}
+    for record in records:
+        stats = record.pop("ir_cache", None)
+        if not isinstance(stats, dict):
+            continue
+        for name, value in stats.items():
+            totals[name] = totals.get(name, 0) + int(value)
+    return totals
+
+
 def _evaluate_batch(
     points: Sequence[DesignPoint],
     workers: int,
@@ -245,20 +343,23 @@ def _evaluate_batch(
     resume: bool = False,
     pool: Optional[ProcessPoolExecutor] = None,
     fidelity: str = DEFAULT_FIDELITY,
+    ir_cache_dir: Optional[str] = None,
 ) -> tuple:
     """Evaluate one batch of points at one fidelity level; records come
     back in batch order.
 
     Cache hits replay in the parent process (no pool startup on warm
     batches); the rest fan out across ``pool`` (or a batch-local pool when
-    none is shared).  Returns ``(records, skipped)`` where ``skipped``
-    counts uncached points a ``resume`` run left unevaluated.
+    none is shared).  Returns ``(records, skipped, ir_stats)`` where
+    ``skipped`` counts uncached points a ``resume`` run left unevaluated
+    and ``ir_stats`` sums the batch's IR-snapshot reuse counters (empty
+    when the IR cache is off).
     """
     records: List[Dict] = []
     pending: List[DesignPoint] = []
     if resolved_cache:
         for point in points:
-            cached = _replay_cached(point, resolved_cache, fidelity)
+            cached = _replay_cached(point, resolved_cache, fidelity, ir_cache_dir)
             if cached is not None:
                 records.append(cached)
             else:
@@ -269,9 +370,12 @@ def _evaluate_batch(
     if resume:
         skipped = len(pending)
         pending = []
+    if ir_cache_dir:
+        pending.sort(key=_prefix_group_order)
     if workers <= 1 or len(pending) <= 1:
         records.extend(
-            evaluate_point(point, resolved_cache, fidelity) for point in pending
+            evaluate_point(point, resolved_cache, fidelity, ir_cache_dir)
+            for point in pending
         )
     elif pending:
         def fan_out(executor: ProcessPoolExecutor) -> None:
@@ -281,6 +385,7 @@ def _evaluate_batch(
                     pending,
                     [resolved_cache] * len(pending),
                     [fidelity] * len(pending),
+                    [ir_cache_dir] * len(pending),
                     chunksize=max(1, chunksize),
                 )
             )
@@ -290,11 +395,13 @@ def _evaluate_batch(
         else:
             with _make_pool(workers, pending) as local_pool:
                 fan_out(local_pool)
-    # ``pool.map`` already preserves order; re-sort defensively by the batch
-    # point order so downstream consumers can rely on it.
+    ir_stats = _merge_ir_stats(records)
+    # ``pool.map`` already preserves order; re-sort by the batch point order
+    # (prefix grouping reorders evaluation) so downstream consumers can
+    # rely on it.
     order = {point.key(): index for index, point in enumerate(points)}
     records.sort(key=lambda r: order.get(r.get("point_key"), len(order)))
-    return records, skipped
+    return records, skipped, ir_stats
 
 
 def _by_workload(records: Sequence[Dict]) -> Dict[str, List[Dict]]:
@@ -369,6 +476,8 @@ def explore(
     fidelity: str = DEFAULT_FIDELITY,
     promote_top: Optional[float] = None,
     patience: Optional[int] = None,
+    ir_cache: bool = False,
+    ir_cache_dir: Optional[str] = None,
 ) -> ExplorationResult:
     """Evaluate ``space`` (fully or via a search strategy) and extract the
     Pareto frontier.
@@ -415,6 +524,18 @@ def explore(
     per-workload frontiers — latency trade-offs only make sense between
     designs of the *same* computation; set it to False for a single global
     frontier when sweeping one workload under many configurations.
+
+    ``ir_cache`` turns on the stage-boundary IR snapshot cache
+    (:mod:`repro.compiler.ircache`): each generation's points are grouped
+    by longest shared canonical-spec prefix so the shared prefix compiles
+    once per worker batch and everything behind it resumes from printed-IR
+    snapshots under ``ir_cache_dir`` (default ``~/.cache/repro/ir`` or
+    ``$REPRO_IR_CACHE``).  Fixed-seed results are byte-identical with the
+    cache on, off, cold or warm, for any worker count; reuse shows up only
+    in ``ExplorationResult.prefix_hits`` / ``stages_skipped`` and the
+    per-generation ``reuse`` column.  The cache trusts registry workload
+    ids as identities, so re-registering a *different* workload under an
+    id cached earlier requires clearing the cache directory.
     """
     points: List[DesignPoint] = []
     seen_keys = set()
@@ -477,6 +598,18 @@ def explore(
     resolved_cache: Optional[str] = None
     if use_cache:
         resolved_cache = str(cache_dir) if cache_dir else str(QoRCache().root)
+    resolved_ir_cache: Optional[str] = None
+    if ir_cache:
+        resolved_ir_cache = (
+            str(ir_cache_dir) if ir_cache_dir else str(default_ir_cache_dir())
+        )
+    elif ir_cache_dir:
+        raise ValueError("ir_cache_dir has no effect with ir_cache=False")
+    ir_totals: Dict[str, int] = {}
+
+    def absorb_ir_stats(stats: Dict[str, int]) -> None:
+        for name, value in stats.items():
+            ir_totals[name] = ir_totals.get(name, 0) + value
 
     started = time.perf_counter()
     strategy_name: Optional[str] = None
@@ -491,10 +624,11 @@ def explore(
             else None
         )
         try:
-            records, skipped = _evaluate_batch(
+            records, skipped, batch_ir = _evaluate_batch(
                 points, workers, resolved_cache, chunksize, resume,
-                pool=sweep_pool,
+                pool=sweep_pool, ir_cache_dir=resolved_ir_cache,
             )
+            absorb_ir_stats(batch_ir)
             if policy is not None:
                 scored = [r for r in records if "error" not in r]
                 by_key = {point.key(): point for point in points}
@@ -504,14 +638,16 @@ def explore(
                 promote_points = [
                     by_key[key] for key in promote_keys if key in by_key
                 ]
-                promoted_records, _ = _evaluate_batch(
+                promoted_records, _, promote_ir = _evaluate_batch(
                     promote_points,
                     workers,
                     resolved_cache,
                     chunksize,
                     pool=sweep_pool,
                     fidelity=level.name,
+                    ir_cache_dir=resolved_ir_cache,
                 )
+                absorb_ir_stats(promote_ir)
                 records.extend(promoted_records)
         finally:
             if sweep_pool is not None:
@@ -563,9 +699,11 @@ def explore(
                 if not batch:
                     break
                 batch = batch[: budget - evaluated_designs]
-                batch_records, _ = _evaluate_batch(
-                    batch, workers, resolved_cache, chunksize, pool=pool
+                batch_records, _, batch_ir = _evaluate_batch(
+                    batch, workers, resolved_cache, chunksize, pool=pool,
+                    ir_cache_dir=resolved_ir_cache,
                 )
+                absorb_ir_stats(batch_ir)
                 searcher.observe(batch_records)
                 previous_boundary = len(records)
                 records.extend(batch_records)
@@ -587,14 +725,20 @@ def explore(
                     promote_points = [
                         by_key[key] for key in promote_keys if key in by_key
                     ]
-                    promoted_records, _ = _evaluate_batch(
+                    promoted_records, _, promote_ir = _evaluate_batch(
                         promote_points,
                         workers,
                         resolved_cache,
                         chunksize,
                         pool=pool,
                         fidelity=level.name,
+                        ir_cache_dir=resolved_ir_cache,
                     )
+                    absorb_ir_stats(promote_ir)
+                    batch_ir = {
+                        name: batch_ir.get(name, 0) + promote_ir.get(name, 0)
+                        for name in set(batch_ir) | set(promote_ir)
+                    }
                     searcher.observe(promoted_records, refinement=True)
                     records.extend(promoted_records)
                 base_by_key = {r.get("point_key"): r for r in batch_records}
@@ -625,6 +769,8 @@ def explore(
                                 scored_so_far, objectives, group_by_workload
                             )
                         ),
+                        "prefix_hits": batch_ir.get("prefix_hits", 0),
+                        "stages_skipped": batch_ir.get("stages_skipped", 0),
                     }
                 )
                 boundaries.append(len(records))
@@ -697,4 +843,6 @@ def explore(
         fidelity=level.name,
         promote_top=policy.promote_top if policy is not None else None,
         stopped_early=stopped_early,
+        prefix_hits=ir_totals.get("prefix_hits", 0),
+        stages_skipped=ir_totals.get("stages_skipped", 0),
     )

@@ -123,6 +123,11 @@ class ExplorationResult:
     promote_top: Optional[float] = None
     #: True when ``patience`` stopped the search before the budget ran out.
     stopped_early: bool = False
+    #: Compilations resumed mid-pipeline from a stage-boundary IR snapshot
+    #: (see :mod:`repro.compiler.ircache`); 0 when the IR cache was off.
+    prefix_hits: int = 0
+    #: Total stage executions those resumptions skipped.
+    stages_skipped: int = 0
 
     @property
     def num_points(self) -> int:
@@ -265,12 +270,20 @@ class ExplorationResult:
 
         Multi-fidelity runs add the promotion columns: how many of the
         generation's designs were re-evaluated by the simulator and the
-        worst relative disagreement between the two fidelities.
+        worst relative disagreement between the two fidelities.  Runs with
+        the IR snapshot cache on add a ``reuse`` column: per generation,
+        how many compilations resumed from a cached stage prefix and how
+        many stage executions that skipped.
         """
         multi = any(generation.get("promoted") for generation in self.generations)
+        reuse = self.prefix_hits > 0 or any(
+            generation.get("prefix_hits") for generation in self.generations
+        )
         headers = ["gen", "evaluated", "total/budget", "frontier", "hypervolume"]
         if multi:
             headers[3:3] = ["promoted", "disagree"]
+        if reuse:
+            headers.append("reuse")
         rows = []
         for generation in self.generations:
             row = [
@@ -286,6 +299,11 @@ class ExplorationResult:
                     generation.get("promoted", 0),
                     None if disagreement is None else f"{disagreement:.1%}",
                 ]
+            if reuse:
+                row.append(
+                    f"{generation.get('prefix_hits', 0)} hit(s)/"
+                    f"{generation.get('stages_skipped', 0)} stage(s)"
+                )
             rows.append(row)
         title = f"Search progress (strategy: {self.strategy}"
         if multi:
@@ -330,6 +348,8 @@ class ExplorationResult:
             "workers": float(self.workers),
             "elapsed_seconds": self.elapsed_seconds,
             "points_per_second": self.points_per_second,
+            "prefix_hits": float(self.prefix_hits),
+            "stages_skipped": float(self.stages_skipped),
         }
 
     # ---------------------------------------------------------- serialization
@@ -350,6 +370,8 @@ class ExplorationResult:
             "fidelity": self.fidelity,
             "promote_top": self.promote_top,
             "stopped_early": self.stopped_early,
+            "prefix_hits": self.prefix_hits,
+            "stages_skipped": self.stages_skipped,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -373,4 +395,6 @@ class ExplorationResult:
             fidelity=str(data.get("fidelity", "estimate")),
             promote_top=data.get("promote_top"),
             stopped_early=bool(data.get("stopped_early", False)),
+            prefix_hits=int(data.get("prefix_hits", 0)),
+            stages_skipped=int(data.get("stages_skipped", 0)),
         )

@@ -48,6 +48,11 @@ class AnalysisManager:
     def __init__(self) -> None:
         self._cache: Dict[Any, Any] = {}
 
+    # No ``fingerprint_op`` memo here: a pass may mutate the IR and re-query
+    # an analysis within one run, and an id-keyed memo would serve the stale
+    # digest.  Callers that *do* control the mutation window (the DSE
+    # workload-fingerprint memo, batch cache-key computation) pass their own
+    # memo to ``fingerprint_op`` instead.
     @staticmethod
     def _op_key(op: Operation) -> Any:
         from .printer import fingerprint_op

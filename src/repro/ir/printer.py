@@ -1,14 +1,17 @@
 """Textual printer for the IR.
 
 Produces an MLIR-flavoured, human-readable rendering of operations, regions
-and blocks.  The output is for inspection and golden tests; there is no
-parser for it (programs are constructed through builders and frontends).
+and blocks.  The output round-trips through :mod:`repro.ir.parser`, which is
+what makes printed IR usable as a serialization format (stage-boundary
+snapshots in :mod:`repro.compiler.ircache`); it also remains the basis of
+content fingerprints, so the rendering must stay deterministic and
+unambiguous — every SSA value prints under a unique name.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Set
 
 from .core import Operation, Region, Value
 
@@ -35,6 +38,7 @@ class IRPrinter:
 
     def __init__(self, indent_width: int = 2) -> None:
         self._names: Dict[int, str] = {}
+        self._used: Set[str] = set()
         self._counter = 0
         self._indent_width = indent_width
 
@@ -43,15 +47,18 @@ class IRPrinter:
         key = id(value)
         if key not in self._names:
             if value.name_hint:
-                base = value.name_hint
-                name = base
-                if name in self._names.values():
-                    name = f"{base}_{self._counter}"
+                name = value.name_hint
+                while name in self._used:
+                    name = f"{value.name_hint}_{self._counter}"
                     self._counter += 1
             else:
                 name = f"{self._counter}"
                 self._counter += 1
+                while name in self._used:
+                    name = f"{self._counter}"
+                    self._counter += 1
             self._names[key] = name
+            self._used.add(name)
         return f"%{self._names[key]}"
 
     # -------------------------------------------------------------- printing
@@ -81,7 +88,12 @@ class IRPrinter:
             lines.append(header)
             return
         lines.append(header + " {")
-        for region in op.regions:
+        for index, region in enumerate(op.regions):
+            if index:
+                # Multi-region ops delimit their regions explicitly so the
+                # textual form stays parseable (region boundaries would
+                # otherwise be ambiguous).
+                lines.append(pad + "} {")
             self._print_region(region, indent + 1, lines)
         lines.append(pad + "}")
 
@@ -103,7 +115,7 @@ def print_op(op: Operation) -> str:
     return IRPrinter().print_op(op)
 
 
-def fingerprint_op(op: Operation) -> str:
+def fingerprint_op(op: Operation, memo: Optional[Dict[int, str]] = None) -> str:
     """Deterministic content hash of an operation and everything nested in it.
 
     The fingerprint is the SHA-256 of the printed form rendered by a fresh
@@ -112,6 +124,18 @@ def fingerprint_op(op: Operation) -> str:
     fingerprint identically regardless of object identity, while any rewrite
     that changes operations, attributes or structure changes the hash.  Used
     as the stable cache key for analyses and QoR results.
+
+    ``memo`` is an optional ``id(op) -> digest`` cache for callers that
+    fingerprint many ops of one unmutated module walk (the analysis manager,
+    repeated cache-key computations); the caller owns invalidation — drop
+    the memo whenever the IR may have changed.
     """
+    if memo is not None:
+        cached = memo.get(id(op))
+        if cached is not None:
+            return cached
     text = IRPrinter().print_op(op)
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    if memo is not None:
+        memo[id(op)] = digest
+    return digest

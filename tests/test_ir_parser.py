@@ -1,0 +1,116 @@
+"""Tests for the printed-IR parser: the load-bearing half of the IR cache.
+
+The incremental-compilation snapshot cache stores *printed IR text*, so the
+print -> parse -> print round-trip must be byte-exact on everything the
+pipeline can produce — frontend modules and every snapshot-safe stage
+boundary alike.  These tests pin that property across the workload zoo and
+the error behavior on malformed text.
+"""
+
+import pytest
+
+from repro.compiler.driver import DEFAULT_PIPELINE, Compiler
+from repro.compiler.stages import CompilationState
+from repro.estimation.platform import get_platform
+from repro.ir.parser import (
+    IRParseError,
+    assign_name_hints,
+    collect_name_hints,
+    parse_op,
+)
+from repro.ir.printer import fingerprint_op, print_op
+from repro.workloads import get_workload, iter_workloads
+
+
+def roundtrip(module):
+    """parse(print(module)) with the name-hint sidecar applied."""
+    text = print_op(module)
+    clone = parse_op(text)
+    assign_name_hints(clone, collect_name_hints(module))
+    return text, clone
+
+
+# ---------------------------------------------------------------------------
+# Round-trip fidelity
+# ---------------------------------------------------------------------------
+
+
+def test_roundtrip_every_frontend_module():
+    """Every registered workload's traced module survives a byte-exact trip."""
+    checked = 0
+    for handle in iter_workloads():
+        module = handle.build_module()
+        text, clone = roundtrip(module)
+        assert print_op(clone) == text, handle.workload_id
+        assert fingerprint_op(clone) == fingerprint_op(module)
+        checked += 1
+    assert checked >= 10  # the zoo holds kernels and models
+
+
+@pytest.mark.parametrize("workload", ["2mm", "lenet"])
+def test_roundtrip_every_stage_boundary(workload):
+    """The IR after each pipeline stage round-trips byte-exactly.
+
+    This sweeps the whole grammar the snapshot cache depends on: dataflow
+    tasks and streams after construct-dataflow, schedules and affine maps
+    after lower-structural, partition/layout attributes after parallelize.
+    """
+    compiler = Compiler.from_spec(DEFAULT_PIPELINE, platform="zu3eg")
+    state = CompilationState(
+        module=get_workload(workload).build_module(),
+        platform=get_platform("zu3eg"),
+    )
+    for stage in compiler.stages:
+        stage.run(state)
+        text, clone = roundtrip(state.module)
+        assert print_op(clone) == text, f"after {stage.name}"
+        assert fingerprint_op(clone) == fingerprint_op(state.module)
+
+
+def test_roundtrip_preserves_structure():
+    module = get_workload("atax").build_module()
+    _, clone = roundtrip(module)
+    assert clone.name == module.name
+    assert len(list(clone.walk())) == len(list(module.walk()))
+    assert [op.name for op in clone.walk()] == [op.name for op in module.walk()]
+    assert [f.sym_name for f in clone.functions] == [
+        f.sym_name for f in module.functions
+    ]
+
+
+def test_name_hints_restore_value_names():
+    """Without the sidecar names regenerate; with it they restore exactly."""
+    module = get_workload("atax").build_module()
+    text = print_op(module)
+    hints = collect_name_hints(module)
+    bare = parse_op(text)
+    assign_name_hints(bare, hints)
+    assert print_op(bare) == text
+    # The hints walk nested_values() pre-order, so length matches exactly.
+    assert len(collect_name_hints(bare)) == len(hints)
+
+
+# ---------------------------------------------------------------------------
+# Error behavior
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",  # empty input
+        "garbage!!",  # not an op header
+        "%r = arith.addf(%a, %b) : f32",  # operands never defined
+        'builtin.module() {sym_name = "m"',  # unterminated attr dict
+        'builtin.module() {\n}\nbuiltin.module() {\n}',  # two top-level ops
+        'builtin.module() {bad = @@} {\n}',  # unparseable attr value
+    ],
+)
+def test_malformed_text_raises_parse_error(text):
+    with pytest.raises(IRParseError):
+        parse_op(text)
+
+
+def test_parse_error_is_value_error():
+    """Callers catching ValueError (the repo-wide idiom) still catch parses."""
+    assert issubclass(IRParseError, ValueError)

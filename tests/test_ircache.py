@@ -1,0 +1,306 @@
+"""Tests for the stage-boundary IR snapshot cache (incremental compilation).
+
+The hard invariant pinned here: results are *bit-for-bit independent* of the
+cache.  A fixed-seed run must produce byte-identical IR, QoR metrics and
+frontiers whether the IR cache is off, cold or warm, for any worker count.
+"""
+
+import pytest
+
+from repro.compiler.driver import DEFAULT_PIPELINE, Compiler
+from repro.compiler.ircache import (
+    SCHEMA_VERSION,
+    IRSnapshotCache,
+    workload_cache_key,
+)
+from repro.compiler.stages import CompilationState
+from repro.dse import build_space, explore
+from repro.estimation.platform import get_platform
+from repro.hida.pipeline import WorkloadSpec
+from repro.ir.printer import print_op
+from repro.workloads import get_workload
+
+
+def make_compiler(platform="zu3eg"):
+    return Compiler.from_spec(DEFAULT_PIPELINE, platform=platform)
+
+
+def summary_of(result):
+    """QoR-bearing fields of a CompileResult, excluding wall-clock noise."""
+    return {
+        "latency": result.estimate.latency,
+        "interval": result.estimate.interval,
+        "dsp": result.estimate.resources.dsp,
+        "bram": result.estimate.resources.bram,
+        "lut": result.estimate.resources.lut,
+        "misalignments": result.misalignments,
+        "num_schedules": len(result.schedules),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Keys and boundaries
+# ---------------------------------------------------------------------------
+
+
+def test_workload_cache_key_forms():
+    assert workload_cache_key("resnet18@batch=4") == "resnet18@batch=4"
+    handle = get_workload("2mm")
+    assert workload_cache_key(handle) == handle.workload_id
+    spec = WorkloadSpec(kind="kernel", name="2mm", batch=1)
+    key = workload_cache_key(spec)
+    assert key.startswith("kernel:2mm@batch=1")
+    assert workload_cache_key(object()) is None
+
+
+def test_snapshot_boundaries_of_default_pipeline():
+    """All seven leading stages are snapshot-safe; parallelize/estimate not."""
+    compiler = make_compiler()
+    assert compiler.snapshot_boundaries() == [1, 2, 3, 4, 5, 6, 7]
+    hashes = compiler.prefix_hashes()
+    assert len(hashes) == len(compiler.stages) + 1
+    assert len(set(hashes)) == len(hashes)  # prefixes hash distinctly
+
+
+def test_unsafe_stage_poisons_later_boundaries():
+    compiler = Compiler.from_spec(
+        "construct-dataflow,lower-linalg,lower-structural,"
+        "parallelize{factor=8},estimate",
+        platform="zu3eg",
+    )
+    # parallelize (index 3) is not snapshot-safe: its parallelization
+    # results live outside the module, so no later boundary is usable.
+    assert compiler.snapshot_boundaries() == [1, 2, 3]
+
+
+def test_prefix_hash_tracks_spec_options():
+    base = make_compiler()
+    tiled = Compiler.from_spec(
+        DEFAULT_PIPELINE.replace("tile", "tile{size=8}"), platform="zu3eg"
+    )
+    # Identical prefixes share hashes; the first divergent stage splits them.
+    assert base.prefix_hashes()[6] == tiled.prefix_hashes()[6]
+    assert base.prefix_hashes()[7] != tiled.prefix_hashes()[7]
+
+
+# ---------------------------------------------------------------------------
+# Driver-level cold/warm equivalence
+# ---------------------------------------------------------------------------
+
+
+def test_cold_then_warm_run_is_bit_identical(tmp_path):
+    cache = IRSnapshotCache(tmp_path / "ir")
+    reference = make_compiler().run(workload="2mm")
+
+    cold_compiler = make_compiler()
+    cold = cold_compiler.run(workload="2mm", ir_cache=cache)
+    assert cold_compiler.ir_cache_stats["prefix_hits"] == 0
+    assert cold_compiler.ir_cache_stats["frontend_traces"] == 1
+    assert cold_compiler.ir_cache_stats["snapshots_stored"] == 7
+    assert cache.verify_failures == 0
+
+    warm_compiler = make_compiler()
+    warm = warm_compiler.run(workload="2mm", ir_cache=cache)
+    stats = warm_compiler.ir_cache_stats
+    assert stats["prefix_hits"] == 1
+    assert stats["stages_skipped"] == 7
+    assert stats["stages_run"] == 2  # parallelize + estimate only
+    assert stats["frontend_traces"] == 0  # no frontend re-trace
+    assert stats["snapshots_stored"] == 0
+
+    assert print_op(cold.module) == print_op(reference.module)
+    assert print_op(warm.module) == print_op(reference.module)
+    assert summary_of(cold) == summary_of(reference)
+    assert summary_of(warm) == summary_of(reference)
+
+
+@pytest.mark.parametrize("workload", ["2mm", "atax"])
+def test_resume_from_every_boundary_matches_full_compile(tmp_path, workload):
+    """Property over all snapshot-safe boundaries: resume == full compile.
+
+    For each boundary the cache holds *only* that boundary's snapshot, so
+    the longest-prefix probe is forced to resume exactly there; the result
+    must be byte-identical IR and identical QoR versus the cold reference.
+    """
+    reference = make_compiler().run(workload=workload)
+    reference_text = print_op(reference.module)
+    key = workload_cache_key(get_workload(workload))
+
+    compiler = make_compiler()
+    hashes = compiler.prefix_hashes()
+    state = CompilationState(
+        module=get_workload(workload).build_module(),
+        platform=get_platform("zu3eg"),
+    )
+    for boundary, stage in enumerate(compiler.stages, start=1):
+        stage.run(state)
+        if boundary not in compiler.snapshot_boundaries():
+            break
+        cache = IRSnapshotCache(tmp_path / f"b{boundary}")
+        assert cache.store(key, "zu3eg", hashes[boundary], state)
+
+        resumed_compiler = make_compiler()
+        resumed = resumed_compiler.run(workload=workload, ir_cache=cache)
+        stats = resumed_compiler.ir_cache_stats
+        assert stats["prefix_hits"] == 1
+        assert stats["stages_skipped"] == boundary
+        assert stats["frontend_traces"] == 0
+        assert print_op(resumed.module) == reference_text, f"boundary {boundary}"
+        assert summary_of(resumed) == summary_of(reference)
+
+
+# ---------------------------------------------------------------------------
+# Self-verification and corruption handling
+# ---------------------------------------------------------------------------
+
+
+def test_store_refuses_snapshot_on_schedule_mismatch(tmp_path):
+    compiler = make_compiler()
+    state = CompilationState(
+        module=get_workload("2mm").build_module(),
+        platform=get_platform("zu3eg"),
+    )
+    for stage in compiler.stages[:4]:  # through lower-structural
+        stage.run(state)
+    assert state.schedules
+    state.schedules.append(state.schedules[0])  # now lies about its schedules
+
+    cache = IRSnapshotCache(tmp_path / "ir")
+    stored = cache.store("2mm", "zu3eg", compiler.prefix_hashes()[4], state)
+    assert stored is False
+    assert cache.verify_failures == 1
+    assert len(cache) == 0
+
+
+def test_corrupt_payload_loads_as_miss(tmp_path):
+    cache = IRSnapshotCache(tmp_path / "ir")
+    key = IRSnapshotCache.snapshot_key("2mm", "zu3eg", "deadbeef")
+    cache._store.put(key, {"ir": "garbage!!", "hints": []})
+    assert cache.load("2mm", "zu3eg", "deadbeef") is None
+    assert cache.misses == 1
+    assert cache.hits == 0
+
+
+def test_store_skips_existing_key(tmp_path):
+    compiler = make_compiler()
+    state = CompilationState(
+        module=get_workload("2mm").build_module(),
+        platform=get_platform("zu3eg"),
+    )
+    compiler.stages[0].run(state)
+    cache = IRSnapshotCache(tmp_path / "ir")
+    h = compiler.prefix_hashes()[1]
+    assert cache.store("2mm", "zu3eg", h, state) is True
+    assert cache.store("2mm", "zu3eg", h, state) is False
+    assert cache.stores == 1
+
+
+def test_fingerprint_memo_roundtrip_and_clear(tmp_path):
+    cache = IRSnapshotCache(tmp_path / "ir")
+    assert cache.get_fingerprint("2mm") is None
+    cache.put_fingerprint("2mm", "abc123")
+    assert cache.get_fingerprint("2mm") == "abc123"
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert cache.get_fingerprint("2mm") is None
+
+
+def test_schema_version_in_keys():
+    """Bumping SCHEMA_VERSION must invalidate every existing entry."""
+    assert f"v{SCHEMA_VERSION}|" in IRSnapshotCache.snapshot_key("w", "p", "h")
+    assert f"v{SCHEMA_VERSION}|" in IRSnapshotCache.fingerprint_key("w")
+
+
+# ---------------------------------------------------------------------------
+# DSE integration: determinism and reuse
+# ---------------------------------------------------------------------------
+
+
+def strip_timing(records):
+    """Records minus wall-clock fields (the only legitimate run-to-run delta)."""
+    cleaned = []
+    for record in records:
+        record = dict(record)
+        record.pop("eval_seconds", None)
+        if isinstance(record.get("summary"), dict):
+            summary = dict(record["summary"])
+            summary.pop("compile_seconds", None)
+            record["summary"] = summary
+        cleaned.append(record)
+    return cleaned
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_explore_bit_identical_off_cold_warm(tmp_path, workers):
+    points = [p for p in build_space("small") if p.workload in ("2mm", "atax")]
+    kwargs = dict(
+        workers=workers,
+        use_cache=False,
+        strategy="genetic",
+        budget=8,
+        seed=7,
+    )
+    ir_dir = str(tmp_path / f"ir{workers}")
+    off = explore(points, **kwargs)
+    cold = explore(points, ir_cache=True, ir_cache_dir=ir_dir, **kwargs)
+    warm = explore(points, ir_cache=True, ir_cache_dir=ir_dir, **kwargs)
+
+    assert strip_timing(off.records) == strip_timing(cold.records)
+    assert strip_timing(off.records) == strip_timing(warm.records)
+    assert strip_timing(off.frontier) == strip_timing(warm.frontier)
+
+    assert off.prefix_hits == 0 and off.stages_skipped == 0
+    assert warm.prefix_hits >= cold.prefix_hits
+    assert warm.stages_skipped > 0
+    # Records never leak cache internals: byte-identity on/off requires it.
+    assert all("ir_cache" not in r for r in off.records + warm.records)
+
+
+def test_warm_sweep_skips_at_least_forty_percent(tmp_path):
+    """The acceptance bar: a warm genetic sweep (budget 24, 2 workers) runs
+    >=40% fewer stage executions than the cold sweep on the same cache."""
+    space = build_space("small")
+    kwargs = dict(
+        workers=2,
+        use_cache=False,
+        strategy="genetic",
+        budget=24,
+        seed=7,
+        ir_cache=True,
+        ir_cache_dir=str(tmp_path / "ir"),
+    )
+    cold = explore(space, **kwargs)
+    warm = explore(space, **kwargs)
+    assert warm.num_designs == cold.num_designs
+
+    slots = cold.num_designs * 9  # 9 stages in the default pipeline
+    cold_executed = slots - cold.stages_skipped
+    warm_executed = slots - warm.stages_skipped
+    saved = (cold_executed - warm_executed) / cold_executed
+    assert warm.prefix_hits == warm.num_designs  # every point resumes
+    assert saved >= 0.40, f"warm run saved only {saved:.0%} of stage executions"
+
+
+def test_reuse_column_and_summary(tmp_path):
+    points = [p for p in build_space("small") if p.workload == "2mm"]
+    result = explore(
+        points,
+        use_cache=False,
+        strategy="genetic",
+        budget=6,
+        seed=7,
+        ir_cache=True,
+        ir_cache_dir=str(tmp_path / "ir"),
+    )
+    assert result.prefix_hits > 0
+    assert "reuse" in result.search_table()
+    assert "hit(s)" in result.search_table()
+    assert result.summary()["prefix_hits"] == result.prefix_hits
+    clone = type(result).from_dict(result.to_dict())
+    assert clone.prefix_hits == result.prefix_hits
+    assert clone.stages_skipped == result.stages_skipped
+
+
+def test_ir_cache_dir_requires_ir_cache():
+    with pytest.raises(ValueError):
+        explore(build_space("small"), ir_cache_dir="/tmp/nope")
