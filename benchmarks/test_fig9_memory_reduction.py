@@ -17,8 +17,12 @@ MODELS = ["resnet18", "mobilenet", "vgg16", "mlp"]
 def _run_fig9():
     rows = []
     for name in MODELS:
-        hida = fit_hida(lambda: build_model(name), PLATFORM, factors=(32, 64, 128))
-        scalehls = fit_scalehls(lambda: build_model(name), PLATFORM, factors=(8, 16, 32))
+        hida = fit_hida(
+            lambda name=name: build_model(name), PLATFORM, factors=(32, 64, 128)
+        )
+        scalehls = fit_scalehls(
+            lambda name=name: build_model(name), PLATFORM, factors=(8, 16, 32)
+        )
         rows.append({
             "model": name,
             "hida_bram": hida.estimate.resources.bram,

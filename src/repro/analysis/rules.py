@@ -1,0 +1,188 @@
+"""Rule framework of the static dataflow analyzer.
+
+Every semantic check is an :class:`AnalysisRule` registered by a stable rule
+id.  Rules inspect one structural schedule at a time (through the
+:class:`~repro.analysis.engine.ScheduleContext` the engine hands them) and
+yield :class:`AnalysisDiagnostic` records: rule id, severity, a message, a
+fix hint, and the *location* of the anchoring op in the printed IR — the
+same textual rendering :mod:`repro.ir.printer` produces for snapshots, so a
+diagnostic's line/offset can be followed into ``--print-ir`` output.
+
+Suppression: any op (or an ancestor) may carry a ``lint_suppress``
+attribute listing rule ids (or ``"*"``); diagnostics anchored at or below
+it are dropped and counted in :attr:`AnalysisReport.suppressed
+<repro.analysis.engine.AnalysisReport.suppressed>`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import ClassVar, Dict, Iterable, List, Optional, Type
+
+__all__ = [
+    "SEVERITIES",
+    "SUPPRESS_ATTR",
+    "AnalysisError",
+    "SourceLocation",
+    "AnalysisDiagnostic",
+    "AnalysisRule",
+    "register_rule",
+    "rule_registry",
+    "available_rules",
+    "default_rules",
+    "severity_rank",
+    "is_suppressed",
+]
+
+#: Recognized severities, mildest first (indices are the comparison order).
+SEVERITIES = ("note", "warning", "error")
+
+#: Op attribute listing rule ids to silence at/below that op ("*" = all).
+SUPPRESS_ATTR = "lint_suppress"
+
+
+class AnalysisError(Exception):
+    """Raised when a lint run crosses its configured failure threshold."""
+
+
+def severity_rank(severity: str) -> int:
+    """Position of ``severity`` in :data:`SEVERITIES` (raises on unknown)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(
+            f"unknown severity {severity!r}; choose from {SEVERITIES}"
+        ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceLocation:
+    """Where an op sits in the printed form of the analyzed module."""
+
+    #: 1-based line in the printed IR.
+    line: int
+    #: 0-based character offset of the op's header token in the printed text.
+    offset: int
+    #: The printed header line of the op (stripped).
+    snippet: str = ""
+
+    def __str__(self) -> str:
+        return f"line {self.line} (offset {self.offset})"
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisDiagnostic:
+    """One finding of one rule, anchored at one op of one schedule."""
+
+    rule: str
+    severity: str
+    message: str
+    hint: str = ""
+    location: Optional[SourceLocation] = None
+    #: Label of the schedule the finding belongs to ("" at module scope).
+    schedule: str = ""
+    data: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.hint:
+            payload["hint"] = self.hint
+        if self.schedule:
+            payload["schedule"] = self.schedule
+        if self.location is not None:
+            payload["line"] = self.location.line
+            payload["offset"] = self.location.offset
+            payload["snippet"] = self.location.snippet
+        data = {k: v for k, v in self.data.items() if not k.startswith("_")}
+        if data:
+            payload["data"] = data
+        return payload
+
+    def __str__(self) -> str:
+        where = f" @ {self.location}" if self.location is not None else ""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        return f"[{self.severity}] {self.rule}{where}: {self.message}{hint}"
+
+
+class AnalysisRule(abc.ABC):
+    """One registered semantic check over a structural schedule."""
+
+    #: Stable rule id (what baselines, suppressions and ``--lint-fail-on``
+    #: reports key on).
+    rule_id: ClassVar[str] = ""
+    #: Default severity of this rule's diagnostics.
+    severity: ClassVar[str] = "warning"
+    #: One-line description for the rule catalog.
+    description: ClassVar[str] = ""
+    #: Default fix hint attached to diagnostics.
+    hint: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def check(self, context) -> Iterable[AnalysisDiagnostic]:
+        """Yield diagnostics for one :class:`ScheduleContext`."""
+
+    def __repr__(self) -> str:
+        return f"<rule {self.rule_id} ({self.severity})>"
+
+
+_REGISTRY: Dict[str, Type[AnalysisRule]] = {}
+
+
+def register_rule(cls: Type[AnalysisRule]) -> Type[AnalysisRule]:
+    """Class decorator adding a rule to the global registry by id."""
+    if not cls.rule_id:
+        raise ValueError(f"rule class {cls.__name__} declares no rule_id")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(
+            f"rule {cls.rule_id!r} declares unknown severity {cls.severity!r}"
+        )
+    if cls.rule_id in _REGISTRY and _REGISTRY[cls.rule_id] is not cls:
+        raise ValueError(f"rule id {cls.rule_id!r} is already registered")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def rule_registry() -> Dict[str, Type[AnalysisRule]]:
+    from . import checkers  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)
+
+
+def available_rules() -> List[str]:
+    """Registered rule ids in registration order."""
+    return list(rule_registry())
+
+
+def default_rules(only: Optional[Iterable[str]] = None) -> List[AnalysisRule]:
+    """Instances of every registered rule (or the named subset, in
+    registration order)."""
+    registry = rule_registry()
+    if only is None:
+        return [cls() for cls in registry.values()]
+    wanted = set(only)
+    unknown = sorted(wanted - set(registry))
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {', '.join(map(repr, unknown))}; "
+            f"registered rules: {', '.join(registry)}"
+        )
+    return [cls() for rule_id, cls in registry.items() if rule_id in wanted]
+
+
+def is_suppressed(rule_id: str, op) -> bool:
+    """Whether ``op`` or an ancestor silences ``rule_id`` via
+    :data:`SUPPRESS_ATTR`."""
+    node = op
+    while node is not None:
+        listed = node.get_attr(SUPPRESS_ATTR, None)
+        if listed:
+            names = [listed] if isinstance(listed, str) else list(listed)
+            if "*" in names or rule_id in names:
+                return True
+        node = node.parent_op
+    return False

@@ -102,7 +102,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list registered QoR fidelity levels and exit",
     )
     parser.add_argument(
-        "--verify", action="store_true", help="verify the IR after every stage"
+        "--verify",
+        "--verify-ir",
+        dest="verify",
+        action="store_true",
+        help="verify the IR after every stage; violations surface as "
+        "structured diagnostics and exit with status 3",
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="append the static-analysis 'lint' stage to the pipeline "
+        "(deadlock, token-balance, memory-race and buffer-sizing rules; "
+        "see python -m repro.analysis --list-rules)",
+    )
+    parser.add_argument(
+        "--lint-fail-on",
+        choices=("never", "note", "warning", "error"),
+        default="never",
+        metavar="SEVERITY",
+        help="with --lint, exit with status 4 when any finding reaches "
+        "this severity (default: never)",
     )
     parser.add_argument(
         "--timings", action="store_true", help="print per-stage wall-clock timings"
@@ -213,6 +233,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     platform_name = target.name
     if args.ir_cache_dir is not None and not args.ir_cache:
         parser.error("--ir-cache-dir requires --ir-cache")
+    if args.lint_fail_on != "never" and not args.lint:
+        parser.error("--lint-fail-on requires --lint")
+    spec_text = args.spec
+    if args.lint:
+        lint_stage = "lint"
+        if args.lint_fail_on != "never":
+            lint_stage = f"lint{{fail-on={args.lint_fail_on}}}"
+        spec_text = f"{spec_text},{lint_stage}"
     ir_cache = None
     if args.ir_cache:
         from .ircache import IRSnapshotCache
@@ -234,7 +262,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         compiler = Compiler.from_spec(
-            args.spec,
+            spec_text,
             platform=platform_name,
             verify_each=args.verify,
             observers=observers,
@@ -245,11 +273,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"pipeline: {compiler.spec_text()}")
     print(f"platform: {platform_name}   spec-hash: {compiler.spec_hash()}")
 
+    from ..analysis import AnalysisError
+    from ..ir.verifier import VerificationError
+
     try:
         result = compiler.run(workload=args.workload, ir_cache=ir_cache)
     except PipelineSpecError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except VerificationError as error:
+        for diagnostic in diagnostics.diagnostics:
+            print(f"  {diagnostic}", file=sys.stderr)
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    except AnalysisError as error:
+        for diagnostic in diagnostics.diagnostics:
+            print(f"  {diagnostic}", file=sys.stderr)
+        print(f"error: {error}", file=sys.stderr)
+        return 4
 
     if args.cache_stats:
         stats = compiler.ir_cache_stats

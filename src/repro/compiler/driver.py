@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..estimation.platform import get_platform
 from ..ir.builtin import ModuleOp
-from ..ir.verifier import verify
+from ..ir.verifier import VerificationError, verify
 from .ircache import IRSnapshotCache, workload_cache_key
 from .spec import PipelineSpec, PipelineSpecError, parse_pipeline
 from .stages import (
@@ -358,14 +358,29 @@ class Compiler:
             for observer in self.observers:
                 observer.on_stage_end(stage, state, elapsed)
             if self.verify_each:
-                verify(module)
+                issues = verify(module, raise_on_error=False)
+                if issues:
+                    # Surface every issue as a structured diagnostic before
+                    # aborting, so observers (and the CLI) can report which
+                    # stage corrupted what instead of a bare traceback.
+                    for issue in issues:
+                        state.emit(
+                            "verify", issue, severity="error", after=stage.name
+                        )
+                    raise VerificationError(
+                        f"IR verification failed after stage {stage.name!r}: "
+                        f"{len(issues)} issue(s); first: {issues[0]}"
+                    )
             stats["stages_run"] += 1
             boundary = index + 1
-            if boundary in boundaries and boundary > resume_index:
-                if ir_cache.store(
+            if (
+                boundary in boundaries
+                and boundary > resume_index
+                and ir_cache.store(
                     workload_key, self.platform, hashes[boundary], state
-                ):
-                    stats["snapshots_stored"] += 1
+                )
+            ):
+                stats["snapshots_stored"] += 1
         if state.estimate is None:
             raise PipelineSpecError(
                 f"pipeline {self.spec_text()!r} produced no QoR estimate; "

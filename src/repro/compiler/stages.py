@@ -543,6 +543,72 @@ class EstimateStage(CompilationStage):
         state.estimate = estimator.estimate_function(func, dataflow=False)
 
 
+@register_stage
+class LintStage(CompilationStage):
+    """Static soundness analysis of the structural dataflow design.
+
+    Runs the registered :mod:`repro.analysis` rules (deadlock, token
+    balance, memory races, buffer sizing) over the module at this point of
+    the pipeline and re-emits every finding as a pipeline diagnostic, so
+    observers see lint results exactly like any other stage output.  With
+    ``fail-on`` set, findings at or above that severity abort the run with
+    an :class:`~repro.analysis.AnalysisError`.
+    """
+
+    name = "lint"
+    timing_key = "lint"
+    snapshot_safe = True
+    option_decls = (
+        StageOption(
+            "fail-on",
+            str,
+            "never",
+            "abort on findings at/above this severity "
+            "(never/note/warning/error)",
+        ),
+        StageOption(
+            "rules",
+            list,
+            None,
+            "restrict to these rule ids (default: every registered rule)",
+        ),
+    )
+
+    def run(self, state: CompilationState) -> None:
+        from ..analysis import AnalysisError, analyze_module, severity_rank
+
+        if self.fail_on != "never":
+            severity_rank(self.fail_on)  # validates the option value
+        report = analyze_module(
+            state.module, platform=state.platform, only=self.rules
+        )
+        for finding in report.diagnostics:
+            payload = finding.to_dict()
+            payload.pop("severity", None)
+            payload.pop("message", None)
+            state.emit(
+                self.name,
+                f"{finding.rule}: {finding.message}",
+                severity=finding.severity,
+                **payload,
+            )
+        if report.suppressed:
+            state.emit(
+                self.name,
+                f"{report.suppressed} finding(s) suppressed via lint_suppress",
+                suppressed=report.suppressed,
+            )
+        if report.fails_at(self.fail_on):
+            counts = ", ".join(
+                f"{rule}={count}" for rule, count in sorted(report.counts().items())
+            )
+            raise AnalysisError(
+                f"lint failed at severity >= {self.fail_on!r}: "
+                f"{len(report.diagnostics)} finding(s) ({counts}); "
+                f"first: {report.diagnostics[0]}"
+            )
+
+
 def build_stages(spec) -> List[CompilationStage]:
     """Instantiate registered stages for every element of a parsed spec."""
     stages: List[CompilationStage] = []

@@ -208,6 +208,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "~/.cache/repro/ir; needs --ir-cache)",
     )
     parser.add_argument(
+        "--prefilter",
+        action="store_true",
+        help="statically reject infeasible design points before evaluation "
+        "(deadlock / memory-race errors on the structural prefix, specs "
+        "without an estimate stage); rejections never consume --budget "
+        "and land in the result's 'rejected' list",
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help="stream already-cached points into the result and skip the "
@@ -410,6 +418,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         patience=args.patience,
         ir_cache=args.ir_cache,
         ir_cache_dir=args.ir_cache_dir,
+        prefilter=args.prefilter,
     )
 
     if result.strategy:
@@ -450,7 +459,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.ir_cache
             else ""
         )
+        + (
+            f"; {len(result.rejected)} point(s) statically rejected"
+            if args.prefilter
+            else ""
+        )
     )
+    if args.prefilter and result.rejected:
+        for record in result.rejected[:5]:
+            print(
+                f"  rejected {record.get('label', '?')}: "
+                f"{record.get('reason')} — {record.get('detail')}"
+            )
     if result.errors:
         for record in result.errors[:3]:
             first_line = str(record["error"]).strip().splitlines()[-1]

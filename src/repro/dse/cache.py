@@ -23,6 +23,7 @@ Eviction is size-capped LRU-by-mtime: when the entry count exceeds
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -74,11 +75,9 @@ class QoRCache:
         if record.get("_cache_version") != CACHE_VERSION:
             self.misses += 1
             return None
-        try:
+        with contextlib.suppress(OSError):
             # Touch for LRU eviction ordering.
             os.utime(path)
-        except OSError:
-            pass
         self.hits += 1
         return record.get("payload")
 
@@ -92,10 +91,8 @@ class QoRCache:
                 json.dump(record, handle, sort_keys=True)
             os.replace(tmp, path)
         except OSError:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
             raise
         # A full entry scan per put is O(n).  For real cache sizes, only pay
         # it when this entry's fan-out bucket exceeds its share of the cap
@@ -134,20 +131,16 @@ class QoRCache:
         # tiebreak on the path so every worker deletes the same entries.
         stamped.sort(key=lambda item: (item[0], str(item[1])))
         for _, stale in stamped[: len(stamped) - self.max_entries]:
-            try:
+            with contextlib.suppress(OSError):
                 stale.unlink()
-            except OSError:
-                pass
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
         for path in self._entries():
-            try:
+            with contextlib.suppress(OSError):
                 path.unlink()
                 removed += 1
-            except OSError:
-                pass
         return removed
 
     def __len__(self) -> int:

@@ -103,7 +103,7 @@ def pareto_frontier(
     scored = [(objective_vector(r, objectives), r) for r in records]
     frontier: List[Tuple[Tuple[float, ...], Dict]] = []
     seen_vectors = set()
-    for vector, record in scored:
+    for vector, _record in scored:
         if any(_dominates(other, vector) for other, _ in scored):
             continue
         if vector in seen_vectors:

@@ -198,12 +198,13 @@ def evaluate_point(
             # Hand the *spec* through when no module is in hand: on a
             # prefix hit the driver rehydrates from the snapshot and the
             # frontend never runs in this process at all.
-            if module is not None:
-                result = compiler.run(
+            result = (
+                compiler.run(
                     module, ir_cache=ir_cache, workload_key=workload_cache_key(spec)
                 )
-            else:
-                result = compiler.run(workload=spec, ir_cache=ir_cache)
+                if module is not None
+                else compiler.run(workload=spec, ir_cache=ir_cache)
+            )
             for name, value in compiler.ir_cache_stats.items():
                 ir_stats[name] = ir_stats.get(name, 0) + value
         else:
@@ -273,13 +274,12 @@ def _worker_init(
     """
     if src_path and src_path not in sys.path:
         sys.path.insert(0, src_path)
+    import contextlib
     import importlib
 
     for module in workload_modules:
-        try:
+        with contextlib.suppress(ImportError):
             importlib.import_module(module)
-        except ImportError:
-            pass
 
 
 def _repo_src_path() -> Optional[str]:
@@ -478,6 +478,7 @@ def explore(
     patience: Optional[int] = None,
     ir_cache: bool = False,
     ir_cache_dir: Optional[str] = None,
+    prefilter: bool = False,
 ) -> ExplorationResult:
     """Evaluate ``space`` (fully or via a search strategy) and extract the
     Pareto frontier.
@@ -536,6 +537,16 @@ def explore(
     per-generation ``reuse`` column.  The cache trusts registry workload
     ids as identities, so re-registering a *different* workload under an
     id cached earlier requires clearing the cache directory.
+
+    ``prefilter`` runs the static feasibility check of
+    :mod:`repro.analysis.prefilter` over the (deduplicated) input points
+    before any evaluation: points whose pipeline cannot produce a QoR
+    record, or whose structural prefix the analyzer flags with an
+    error-severity finding (deadlock, memory race), are dropped into
+    ``ExplorationResult.rejected`` instead of being evaluated.  Rejected
+    points never consume ``budget`` (adaptive searches draw candidates
+    from the filtered pool), and the records of feasible points are
+    byte-identical to a run without the filter.
     """
     points: List[DesignPoint] = []
     seen_keys = set()
@@ -547,6 +558,11 @@ def explore(
         if key not in seen_keys:
             seen_keys.add(key)
             points.append(point)
+    rejected: List[Dict] = []
+    if prefilter:
+        from ..analysis.prefilter import filter_points
+
+        points, rejected = filter_points(points)
     unknown = [name for name in objectives if name not in SUMMARY_METRICS]
     if unknown or not list(objectives):
         raise ValueError(
@@ -845,4 +861,5 @@ def explore(
         stopped_early=stopped_early,
         prefix_hits=ir_totals.get("prefix_hits", 0),
         stages_skipped=ir_totals.get("stages_skipped", 0),
+        rejected=rejected,
     )

@@ -17,7 +17,7 @@ token flow) precisely to remove that back-pressure.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..dialects.dataflow import (
     BufferOp,
@@ -28,7 +28,14 @@ from ..dialects.dataflow import (
     get_producers,
 )
 
-__all__ = ["ChannelSpec", "simulate_dataflow", "simulate_schedule", "build_channels"]
+__all__ = [
+    "ChannelSpec",
+    "simulate_dataflow",
+    "simulate_schedule",
+    "build_channels",
+    "channel_cycles",
+    "topological_order_with_cycle",
+]
 
 
 @dataclasses.dataclass
@@ -139,13 +146,12 @@ def simulate_dataflow(
         for node in order:
             earliest = 0.0
             if frame > 0:
-                if intervals is None:
-                    earliest = max(earliest, finish[frame - 1][node])
-                else:
-                    earliest = max(
-                        earliest,
-                        start[frame - 1][node] + max(intervals[node], 1.0),
-                    )
+                prior = (
+                    finish[frame - 1][node]
+                    if intervals is None
+                    else start[frame - 1][node] + max(intervals[node], 1.0)
+                )
+                earliest = max(earliest, prior)
             for channel in preds[node]:
                 earliest = max(earliest, finish[frame][channel.producer])
             for channel in succs[node]:
@@ -162,19 +168,21 @@ def simulate_dataflow(
     single_frame_latency = last_finish[0]
     half = frames // 2
     steady_interval = (last_finish[-1] - last_finish[half]) / max(frames - 1 - half, 1)
-    if intervals is None:
-        floor = max(latencies) if latencies else 1.0
-    else:
-        # Internally pipelined nodes can sustain one frame per interval, so
-        # the whole pipeline's floor is the slowest node *interval*.
-        floor = max(max(i, 1.0) for i in intervals)
+    # Internally pipelined nodes can sustain one frame per interval, so the
+    # whole pipeline's floor is the slowest node *interval* (falling back to
+    # the slowest node latency for unpipelined designs).
+    floor = (
+        (max(latencies) if latencies else 1.0)
+        if intervals is None
+        else max(max(i, 1.0) for i in intervals)
+    )
     steady_interval = max(steady_interval, floor)
     return steady_interval, single_frame_latency
 
 
-def _topological_order(num_nodes: int, channels: Sequence[ChannelSpec]) -> List[int]:
-    """Topological order over data edges (falls back to index order on cycles)."""
-    indegree = [0] * num_nodes
+def _dedup_adjacency(
+    num_nodes: int, channels: Sequence[ChannelSpec]
+) -> Dict[int, List[int]]:
     adjacency: Dict[int, List[int]] = {i: [] for i in range(num_nodes)}
     seen = set()
     for channel in channels:
@@ -183,7 +191,91 @@ def _topological_order(num_nodes: int, channels: Sequence[ChannelSpec]) -> List[
             continue
         seen.add(key)
         adjacency[channel.producer].append(channel.consumer)
-        indegree[channel.consumer] += 1
+    return adjacency
+
+
+def channel_cycles(
+    num_nodes: int, channels: Sequence[ChannelSpec]
+) -> List[List[int]]:
+    """Cyclic strongly connected components of the channel graph.
+
+    Returns one sorted member list per SCC with more than one node (self
+    channels never exist: :func:`build_channels` drops producer == consumer
+    edges), ordered by smallest member.  This is the *single* definition of
+    "a cycle" shared by the simulator's scheduling fallback and the static
+    deadlock checker in :mod:`repro.analysis` — the two can never disagree
+    about which nodes are cyclically dependent.
+    """
+    adjacency = _dedup_adjacency(num_nodes, channels)
+    # Iterative Tarjan (schedules can be deep enough to bother recursion).
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack = [False] * num_nodes
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = [0]
+
+    def strongconnect(root: int) -> None:
+        work = [(root, iter(adjacency[root]))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if on_stack[succ]:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    components.append(sorted(component))
+
+    for start in range(num_nodes):
+        if start not in index_of:
+            strongconnect(start)
+    components.sort(key=lambda members: members[0])
+    return components
+
+
+def topological_order_with_cycle(
+    num_nodes: int, channels: Sequence[ChannelSpec]
+) -> Tuple[List[int], FrozenSet[int]]:
+    """Kahn's order plus the member set of any channel-graph cycles.
+
+    The order is a true topological sort when the graph is acyclic (and the
+    returned member set is empty).  With cycles, nodes Kahn's algorithm
+    could not schedule are appended in index (program) order and the second
+    element names every node on a cycle (union of the cyclic SCCs from
+    :func:`channel_cycles`) so callers can *report* the fallback instead of
+    silently absorbing it.
+    """
+    adjacency = _dedup_adjacency(num_nodes, channels)
+    indegree = [0] * num_nodes
+    for successors in adjacency.values():
+        for succ in successors:
+            indegree[succ] += 1
     ready = sorted(i for i in range(num_nodes) if indegree[i] == 0)
     order: List[int] = []
     while ready:
@@ -194,10 +286,24 @@ def _topological_order(num_nodes: int, channels: Sequence[ChannelSpec]) -> List[
             if indegree[succ] == 0:
                 ready.append(succ)
         ready.sort()
+    cycle_members: FrozenSet[int] = frozenset()
     if len(order) != num_nodes:
-        # Cycle (e.g. in-place updates): fall back to program order.
-        remaining = [i for i in range(num_nodes) if i not in order]
+        # Cycle (e.g. in-place updates): fall back to program order for the
+        # unscheduled remainder, but expose which nodes actually sit on a
+        # cycle (the remainder also contains nodes merely *downstream* of
+        # one, which Kahn's algorithm cannot distinguish).
+        scheduled = set(order)
+        remaining = [i for i in range(num_nodes) if i not in scheduled]
         order.extend(remaining)
+        cycle_members = frozenset(
+            member for cycle in channel_cycles(num_nodes, channels) for member in cycle
+        )
+    return order, cycle_members
+
+
+def _topological_order(num_nodes: int, channels: Sequence[ChannelSpec]) -> List[int]:
+    """Topological order over data edges (falls back to index order on cycles)."""
+    order, _ = topological_order_with_cycle(num_nodes, channels)
     return order
 
 

@@ -683,7 +683,7 @@ class QoREstimator:
             resources = resources + estimate.resources
         for buffer_op in schedule.buffers:
             resources = resources + estimate_buffer(buffer_op, self.platform)
-        for stream in schedule.streams:
+        for _stream in schedule.streams:
             resources = resources + ResourceUsage(lut=40, ff=60)
 
         total_latency = sum(e.latency for e in node_estimates) or 1.0

@@ -128,6 +128,10 @@ class ExplorationResult:
     prefix_hits: int = 0
     #: Total stage executions those resumptions skipped.
     stages_skipped: int = 0
+    #: Points the static pre-filter rejected before any evaluation (one
+    #: record per point: reason, detail, rule counts; see
+    #: :mod:`repro.analysis.prefilter`).  Rejections never consume budget.
+    rejected: List[Dict] = dataclasses.field(default_factory=list)
 
     @property
     def num_points(self) -> int:
@@ -350,6 +354,7 @@ class ExplorationResult:
             "points_per_second": self.points_per_second,
             "prefix_hits": float(self.prefix_hits),
             "stages_skipped": float(self.stages_skipped),
+            "rejected": float(len(self.rejected)),
         }
 
     # ---------------------------------------------------------- serialization
@@ -372,6 +377,7 @@ class ExplorationResult:
             "stopped_early": self.stopped_early,
             "prefix_hits": self.prefix_hits,
             "stages_skipped": self.stages_skipped,
+            "rejected": self.rejected,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -397,4 +403,5 @@ class ExplorationResult:
             stopped_early=bool(data.get("stopped_early", False)),
             prefix_hits=int(data.get("prefix_hits", 0)),
             stages_skipped=int(data.get("stages_skipped", 0)),
+            rejected=list(data.get("rejected", [])),
         )

@@ -185,13 +185,16 @@ def construct_functional_dataflow(module: ModuleOp) -> int:
         # func itself is visited through the walk (walk includes func? it does
         # not include the module); ensure the function body is considered last.
         for op, block in candidates:
-            if op is func or isinstance(op, (AffineForOp, FuncOp)):
-                if _is_dispatchable(block) and not _already_dispatched(block):
-                    dispatch = wrap_block_in_dispatch(block)
-                    created += 1
-                    for child in list(dispatch.body.operations):
-                        if _is_task_worthy(child):
-                            wrap_ops_in_task([child], label=_label_for(child))
+            if (
+                (op is func or isinstance(op, (AffineForOp, FuncOp)))
+                and _is_dispatchable(block)
+                and not _already_dispatched(block)
+            ):
+                dispatch = wrap_block_in_dispatch(block)
+                created += 1
+                for child in list(dispatch.body.operations):
+                    if _is_task_worthy(child):
+                        wrap_ops_in_task([child], label=_label_for(child))
     return created
 
 

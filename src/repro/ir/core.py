@@ -21,6 +21,7 @@ region nesting, dominance of simple single-block regions) are checked by
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from typing import (
     Any,
@@ -99,10 +100,8 @@ class Value:
         self._uses.append((op, index))
 
     def _remove_use(self, op: "Operation", index: int) -> None:
-        try:
+        with contextlib.suppress(ValueError):
             self._uses.remove((op, index))
-        except ValueError:
-            pass
 
     def replace_all_uses_with(self, new_value: "Value") -> None:
         """Rewrite every use of this value to use ``new_value`` instead."""

@@ -13,6 +13,7 @@ resource model to compute BRAM bank counts (Table 6 of the paper).
 
 from __future__ import annotations
 
+import contextlib
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -95,9 +96,10 @@ def partition_for_accesses(
 def _accesses_of(buffer: Value, within: Optional[Operation] = None) -> List[Operation]:
     accesses = []
     for user in buffer.users:
-        if isinstance(user, (AffineLoadOp, AffineStoreOp)):
-            if within is None or within.is_ancestor_of(user):
-                accesses.append(user)
+        if isinstance(user, (AffineLoadOp, AffineStoreOp)) and (
+            within is None or within.is_ancestor_of(user)
+        ):
+            accesses.append(user)
     return accesses
 
 
@@ -146,10 +148,8 @@ def partition_buffers_in(top: Operation) -> Dict[int, ArrayPartition]:
         if isinstance(defining, BufferOp):
             defining.set_partition(partition)
         else:
-            try:
+            with contextlib.suppress(ValueError):
                 set_partition(buffer, partition)
-            except ValueError:
-                pass
         chosen[key] = partition
     return chosen
 

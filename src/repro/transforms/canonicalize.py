@@ -37,10 +37,10 @@ def _has_side_effects(op: Operation) -> bool:
     if op.name in _SIDE_EFFECT_OPS:
         return True
     # Ops with regions may contain side-effecting ops.
-    for nested in op.walk():
-        if nested is not op and nested.name in _SIDE_EFFECT_OPS:
-            return True
-    return False
+    return any(
+        nested is not op and nested.name in _SIDE_EFFECT_OPS
+        for nested in op.walk()
+    )
 
 
 def eliminate_dead_code(top: Operation, max_iterations: int = 8) -> int:

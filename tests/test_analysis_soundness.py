@@ -1,0 +1,172 @@
+"""Differential soundness of the static analyzer.
+
+The analyzer's contract is enforced against the measurement oracle from
+two sides:
+
+* every design the ``deadlock`` rule flags must actually stall in
+  :func:`~repro.estimation.dataflow_sim.simulate_dataflow` (no false
+  alarms that the simulator would disprove), and
+* no design the workload zoo produces — under the default pipeline or any
+  Figure-11 ablation variant — may be flagged with an error-severity
+  finding (no false positives on known-good designs).
+
+Plus the DSE pre-filter guarantees: statically rejected points never
+consume budget, and the records of feasible points are byte-identical to
+an unfiltered run on the same seed.
+"""
+
+import pytest
+
+from repro.analysis import analyze_module
+from repro.baselines.ablation import ABLATION_MODES, ablation_pipeline_spec
+from repro.compiler import Compiler
+from repro.compiler.driver import DEFAULT_PIPELINE
+from repro.dse.runner import explore
+from repro.dse.space import build_space
+from repro.estimation.dataflow_sim import build_channels, simulate_dataflow
+from repro.workloads import iter_workloads
+
+from test_analysis import cycle_module
+
+STALL = 1.0 + 1e-6
+
+
+def _whole_graph_interval(schedule) -> float:
+    """Unit-latency steady-state interval of the full channel graph."""
+    nodes, channels = build_channels(schedule)
+    interval, _ = simulate_dataflow([1.0] * len(nodes), channels, frames=32)
+    return interval
+
+
+@pytest.mark.parametrize(
+    "caps", [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4), (8, 8)]
+)
+def test_deadlock_flag_agrees_with_the_simulator(caps):
+    module, schedule = cycle_module(*caps)
+    flagged = bool(analyze_module(module, only=["deadlock"]).errors)
+    stalls = _whole_graph_interval(schedule) > STALL
+    # Soundness: flagged => stalls.  On these pure-cycle designs the
+    # converse holds too, which pins the rule as exact, not just safe.
+    assert flagged == stalls
+
+
+def test_flagged_cycle_embedded_in_larger_graph_still_stalls():
+    from repro.dialects.dataflow import NodeOp
+    from repro.ir import Builder
+
+    from test_analysis import _make_buffer
+
+    module, schedule = cycle_module(1, 1)
+    builder = Builder.at_end(schedule.body)
+    tail_buf = _make_buffer(builder, depth=2, name="post")
+    # Grow a well-buffered chain downstream of the starved cycle.
+    builder.insert(
+        NodeOp.create(inputs=[tail_buf.result()], label="sink")
+    )
+    assert analyze_module(module, only=["deadlock"]).errors
+    assert _whole_graph_interval(schedule) > STALL
+
+
+def _zoo_specs():
+    specs = [("default", DEFAULT_PIPELINE)]
+    specs.extend(
+        (mode, ablation_pipeline_spec(mode, max_parallel_factor=8))
+        for mode in ABLATION_MODES
+    )
+    return specs
+
+
+def test_no_clean_zoo_design_is_flagged():
+    """Zero error-severity findings across every workload x pipeline."""
+    offenders = []
+    for handle in iter_workloads():
+        for mode, spec in _zoo_specs():
+            result = Compiler.from_spec(spec, platform="vu9p-slr").run(
+                workload=handle
+            )
+            report = analyze_module(result.module, platform="vu9p-slr")
+            offenders.extend(
+                f"{handle.label()}[{mode}]: {finding}"
+                for finding in report.errors
+            )
+    assert not offenders, "\n".join(offenders)
+
+
+def _strip_timing(records):
+    """Copies of ``records`` with the wall-clock-dependent fields removed."""
+    cleaned = []
+    for record in records:
+        record = dict(record)
+        record.pop("eval_seconds", None)
+        if isinstance(record.get("summary"), dict):
+            summary = dict(record["summary"])
+            summary.pop("compile_seconds", None)
+            record["summary"] = summary
+        cleaned.append(record)
+    return cleaned
+
+
+def test_dse_prefilter_rejects_without_perturbing_feasible_points(tmp_path):
+    # The pipeline-spec axis crafts an infeasible family: a spec with no
+    # estimate stage can never produce a QoR record.
+    space = build_space(
+        "small",
+        suite=["2mm"],
+        platforms=("zu3eg",),
+        pipeline_specs=(None, "construct-dataflow,lower-structural,parallelize"),
+    )
+    kwargs = dict(
+        cache_dir=str(tmp_path / "qor"), workers=1, chunksize=2
+    )
+    base = explore(space, use_cache=False, **kwargs)
+    filtered = explore(space, use_cache=False, prefilter=True, **kwargs)
+
+    # The crafted axis is rejected statically, with the reason recorded.
+    assert filtered.rejected, "expected at least one statically rejected point"
+    assert {r["reason"] for r in filtered.rejected} == {"no-estimate"}
+    rejected_keys = {r["point_key"] for r in filtered.rejected}
+
+    # The pre-filter predicted exactly the points that error out when run.
+    base_errors = {
+        r["point_key"] for r in base.records if "error" in r
+    }
+    assert rejected_keys == base_errors
+
+    # Feasible records are byte-identical (timing aside) and the frontier
+    # is unchanged: rejection consumed no budget and perturbed nothing.
+    base_ok = [r for r in base.records if r["point_key"] not in rejected_keys]
+    filtered_ok = [r for r in filtered.records if "error" not in r]
+    assert _strip_timing(filtered_ok) == _strip_timing(base_ok)
+    assert filtered.frontier_keys() == base.frontier_keys()
+    assert filtered.summary()["rejected"] == float(len(rejected_keys))
+    assert base.summary()["rejected"] == 0.0
+
+
+def test_dse_prefilter_is_deterministic_with_adaptive_search(tmp_path):
+    space = build_space(
+        "small",
+        suite=["2mm"],
+        platforms=("zu3eg",),
+        pipeline_specs=(None, "construct-dataflow,lower-structural,parallelize"),
+    )
+    runs = [
+        explore(
+            space,
+            use_cache=False,
+            cache_dir=str(tmp_path / f"qor{i}"),
+            workers=1,
+            strategy="random",
+            budget=6,
+            seed=11,
+            prefilter=True,
+        )
+        for i in range(2)
+    ]
+    assert runs[0].frontier_keys() == runs[1].frontier_keys()
+    assert [r["point_key"] for r in runs[0].rejected] == [
+        r["point_key"] for r in runs[1].rejected
+    ]
+    # Budget counts evaluated designs only; rejections ride for free.
+    evaluated = {r["point_key"] for r in runs[0].records}
+    assert len(evaluated) <= 6
+    assert evaluated.isdisjoint(r["point_key"] for r in runs[0].rejected)

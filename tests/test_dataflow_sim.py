@@ -173,3 +173,48 @@ def test_simulation_agrees_with_analytic_ordering_on_clear_gaps(tmp_path):
         checked += 1
         assert (analytic[a] < analytic[b]) == (simulated[a] < simulated[b])
     assert checked >= 50  # the property is exercised, not vacuous
+
+
+# --------------------------------------------------- cycle decomposition
+def test_channel_cycles_finds_cyclic_sccs():
+    from repro.estimation.dataflow_sim import channel_cycles
+
+    # Two disjoint cycles plus an acyclic tail; duplicate channels and
+    # self-contained DAG edges must not perturb the decomposition.
+    channels = [
+        ChannelSpec(0, 1),
+        ChannelSpec(1, 0),
+        ChannelSpec(1, 0),  # duplicate edge
+        ChannelSpec(2, 3),
+        ChannelSpec(3, 4),
+        ChannelSpec(4, 2),
+        ChannelSpec(4, 5),  # tail out of the second cycle
+    ]
+    assert channel_cycles(6, channels) == [[0, 1], [2, 3, 4]]
+    # Acyclic graphs decompose into nothing (single nodes are not cycles).
+    assert channel_cycles(3, [ChannelSpec(0, 1), ChannelSpec(1, 2)]) == []
+    assert channel_cycles(0, []) == []
+
+
+def test_topological_order_with_cycle_exposes_exact_member_set():
+    from repro.estimation.dataflow_sim import topological_order_with_cycle
+
+    # Acyclic: a complete order, an empty member set.
+    order, members = topological_order_with_cycle(
+        3, [ChannelSpec(0, 1), ChannelSpec(1, 2)]
+    )
+    assert order == [0, 1, 2]
+    assert members == frozenset()
+    # A cycle feeding a downstream chain: only the cycle's nodes are
+    # members — downstream nodes are victims, not causes.
+    channels = [
+        ChannelSpec(0, 1),
+        ChannelSpec(1, 0),
+        ChannelSpec(1, 2),
+        ChannelSpec(2, 3),
+    ]
+    order, members = topological_order_with_cycle(4, channels)
+    assert sorted(order) == [0, 1, 2, 3]
+    assert members == frozenset({0, 1})
+    # The legacy helper stays a thin wrapper over the same order.
+    assert _topological_order(4, channels) == order

@@ -292,7 +292,9 @@ class TestBuiltinOps:
     def test_duplicate_function_names_fail_verification(self):
         module, _ = build_simple_func("dup")
         module.append(FuncOp.create("dup"))
-        with pytest.raises(Exception):
+        from repro.ir.verifier import VerificationError
+
+        with pytest.raises(VerificationError):
             verify(module)
 
     def test_func_top_attribute(self):

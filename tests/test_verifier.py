@@ -1,0 +1,101 @@
+"""Error-path tests of the structural IR verifier (:mod:`repro.ir.verifier`).
+
+The happy path is exercised implicitly all over the suite (``--verify-ir``,
+``verify_each``); these tests corrupt IR on purpose and check that each
+invariant class — parent links, use lists, operand visibility, isolation —
+produces its own diagnostic, that ``raise_on_error=False`` accumulates
+instead of stopping at the first hit, and that clean IR stays silent.
+"""
+
+import pytest
+
+from repro.dialects.arith import AddFOp
+from repro.dialects.dataflow import NodeOp
+from repro.ir import Builder, ConstantOp, FuncOp, ModuleOp, f32, verify
+from repro.ir.builtin import ReturnOp
+from repro.ir.verifier import VerificationError
+
+
+def clean_module():
+    module = ModuleOp.create("m")
+    func = FuncOp.create("f", input_types=[f32])
+    module.append(func)
+    builder = Builder.at_end(func.entry_block)
+    one = builder.insert(ConstantOp.create(1.0, f32))
+    two = builder.insert(ConstantOp.create(2.0, f32))
+    add = builder.insert(AddFOp.create(one.result(), two.result()))
+    builder.insert(ReturnOp.create([add.result()]))
+    return module, func, one, two, add
+
+
+def test_clean_module_verifies_silently():
+    module, *_ = clean_module()
+    assert verify(module) == []
+
+
+def test_parent_link_corruption_is_reported():
+    module, func, one, *_ = clean_module()
+    one.parent = None  # simulate a botched detach
+    issues = verify(module, raise_on_error=False)
+    # The broken link itself, plus the knock-on visibility failure of the
+    # orphaned op's result at its downstream use.
+    stale = [issue for issue in issues if "stale parent link" in issue]
+    assert len(stale) == 1
+    assert "arith.constant" in stale[0]
+
+
+def test_missing_use_list_entry_is_reported():
+    module, func, one, two, add = clean_module()
+    one.result()._remove_use(add, 0)  # use-list out of sync with operands
+    issues = verify(module, raise_on_error=False)
+    assert any("use-list is missing this use" in issue for issue in issues)
+
+
+def test_stale_use_entry_is_reported():
+    module, func, one, two, add = clean_module()
+    one.result()._add_use(add, 7)  # phantom use at a bogus operand slot
+    issues = verify(module, raise_on_error=False)
+    assert any("stale use recorded" in issue for issue in issues)
+
+
+def test_use_before_def_in_same_block_is_reported():
+    module, func, one, two, add = clean_module()
+    late = ConstantOp.create(3.0, f32)
+    Builder.at_end(func.entry_block).insert(late)
+    user = AddFOp.create(late.result(), late.result())
+    Builder.at_start(func.entry_block).insert(user)  # user precedes def
+    issues = verify(module, raise_on_error=False)
+    assert any("is not visible at its use" in issue for issue in issues)
+
+
+def test_isolated_from_above_violation_is_reported():
+    module, func, one, two, add = clean_module()
+    node = NodeOp.create(label="iso")
+    Builder.at_end(func.entry_block).insert(node)
+    # An op inside the isolated node body capturing an outside SSA value.
+    Builder.at_end(node.body).insert(
+        AddFOp.create(one.result(), one.result())
+    )
+    issues = verify(module, raise_on_error=False)
+    assert issues
+    assert all("defined outside isolated op" in issue for issue in issues)
+
+
+def test_op_specific_verify_hooks_feed_diagnostics():
+    module, func, *_ = clean_module()
+    module.append(FuncOp.create("f"))  # duplicate symbol trips ModuleOp.verify
+    issues = verify(module, raise_on_error=False)
+    assert any("duplicate function symbols" in issue for issue in issues)
+
+
+def test_accumulation_and_raise_modes():
+    module, func, one, two, add = clean_module()
+    one.parent = None
+    two.result()._remove_use(add, 1)
+    issues = verify(module, raise_on_error=False)
+    assert len(issues) >= 2  # keeps going past the first failure
+    with pytest.raises(VerificationError) as excinfo:
+        verify(module)
+    # The raised message carries every accumulated diagnostic.
+    for issue in issues:
+        assert issue in str(excinfo.value)
