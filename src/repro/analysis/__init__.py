@@ -19,14 +19,32 @@ cycle, so every flagged design provably stalls in the simulator and clean
 designs are never flagged (pinned by the property tests).
 """
 
-from . import checkers  # noqa: F401  (registers the built-in rules)
+from . import checkers, loop_checkers  # noqa: F401  (registers the built-in rules)
+from .dependence import (
+    Dependence,
+    DistanceElement,
+    band_dependences,
+    loop_carried_dependences,
+    loop_carries_dependence,
+    nest_dependences,
+)
 from .engine import (
     AnalysisReport,
     ScheduleContext,
     analyze_module,
     locate_ops,
 )
+from .legality import (
+    BankConflict,
+    LegalityResult,
+    TransformLegalityError,
+    legal_permutation,
+    legal_pipeline_ii,
+    legal_unroll,
+    partition_bank_conflicts,
+)
 from .prefilter import check_point, filter_points
+from .recurrence import band_rec_mii, dependence_chain_latency, pipeline_rec_mii
 from .rules import (
     SEVERITIES,
     SUPPRESS_ATTR,
@@ -49,15 +67,31 @@ __all__ = [
     "AnalysisError",
     "AnalysisReport",
     "AnalysisRule",
+    "BankConflict",
+    "Dependence",
+    "DistanceElement",
+    "LegalityResult",
     "ScheduleContext",
     "SourceLocation",
+    "TransformLegalityError",
     "analyze_module",
     "available_rules",
+    "band_dependences",
+    "band_rec_mii",
     "check_point",
     "default_rules",
+    "dependence_chain_latency",
     "filter_points",
     "is_suppressed",
+    "legal_permutation",
+    "legal_pipeline_ii",
+    "legal_unroll",
     "locate_ops",
+    "loop_carried_dependences",
+    "loop_carries_dependence",
+    "nest_dependences",
+    "partition_bank_conflicts",
+    "pipeline_rec_mii",
     "register_rule",
     "rule_registry",
     "severity_rank",

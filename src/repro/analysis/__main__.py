@@ -110,7 +110,33 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every individual finding, not just the count table",
     )
+    parser.add_argument(
+        "--annotate",
+        action="store_true",
+        help="emit GitHub Actions workflow annotations "
+        "(::error file=...) for every finding",
+    )
     return parser
+
+
+#: Lint severity -> GitHub workflow-command level.
+_ANNOTATION_LEVELS = {"error": "error", "warning": "warning", "note": "notice"}
+
+
+def _print_annotations(label: str, report: AnalysisReport) -> None:
+    """One ``::level file=...`` workflow command per finding.
+
+    The file is the virtual printed-IR path of the workload (the same text
+    ``--print-ir`` renders and diagnostics' line numbers index into).
+    """
+    for finding in report.diagnostics:
+        level = _ANNOTATION_LEVELS.get(finding.severity, "warning")
+        line = finding.location.line if finding.location else 1
+        message = f"{label}: {finding.message}"
+        print(
+            f"::{level} file=printed-ir/{label}.mlir,line={line},"
+            f"title={finding.rule}::{message}"
+        )
 
 
 def _print_rule_catalog() -> None:
@@ -237,6 +263,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for label in sorted(reports):
             for finding in reports[label].diagnostics:
                 print(f"{label}: {finding}")
+    if args.annotate:
+        for label in sorted(reports):
+            _print_annotations(label, reports[label])
     for failure in failures:
         print(f"compile failure (not analyzed): {failure}", file=sys.stderr)
 

@@ -1,0 +1,152 @@
+"""Loop-level lint rules backed by the dependence engine.
+
+PR 7's rules check the dataflow graph between nodes; these three look
+*inside* the nodes' loop nests:
+
+* ``loop-carried-race`` — a pipelined loop claims an initiation interval
+  below its recurrence bound, so the promised throughput is unachievable
+  (a real HLS tool would serialize the loop to rec-MII);
+* ``illegal-unroll`` — an unroll directive breaks a carried dependence at
+  a distance smaller than the factor, reordering a read/write pair inside
+  one issue group;
+* ``bank-conflict`` — a partitioned buffer's same-cycle access set
+  collides in one bank beyond its ports, stalling the unrolled body.
+
+All three share the transform-legality predicates, so anything the
+transforms refuse to do is exactly what the linter flags when it finds it
+already done in the IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
+from ..ir.core import Operation, Value
+from .legality import legal_pipeline_ii, legal_unroll, partition_bank_conflicts
+from .rules import AnalysisDiagnostic, AnalysisRule, register_rule
+
+__all__ = ["LoopCarriedRaceRule", "IllegalUnrollRule", "BankConflictRule"]
+
+
+def _loops_in_schedule(context) -> Iterator[Tuple[Operation, AffineForOp]]:
+    for node in context.schedule.nodes:
+        for loop in node.walk_ops(AffineForOp):
+            yield node, loop
+
+
+@register_rule
+class LoopCarriedRaceRule(AnalysisRule):
+    """Pipelined loops whose target II is below their recurrence MII."""
+
+    rule_id = "loop-carried-race"
+    severity = "error"
+    description = (
+        "a pipelined loop carries a dependence whose recurrence needs more "
+        "cycles than the claimed initiation interval provides"
+    )
+    hint = (
+        "raise target_ii to the rec-MII (the parallelize pass clamps "
+        "automatically) or break the recurrence chain"
+    )
+
+    def check(self, context) -> Iterator[AnalysisDiagnostic]:
+        for _node, loop in _loops_in_schedule(context):
+            if not loop.is_pipelined:
+                continue
+            target_ii = int(loop.target_ii)
+            result = legal_pipeline_ii(loop, target_ii)
+            if result.ok:
+                continue
+            detail = (
+                result.dependences[0].describe()
+                if result.dependences
+                else "a carried dependence"
+            )
+            yield context.diagnostic(
+                self,
+                f"pipelined loop claims II={target_ii} but {detail} "
+                f"bounds it to >= {result.min_ii}",
+                op=loop,
+                target_ii=target_ii,
+                rec_mii=result.min_ii,
+            )
+
+
+@register_rule
+class IllegalUnrollRule(AnalysisRule):
+    """Unroll directives that break a loop-carried dependence."""
+
+    rule_id = "illegal-unroll"
+    severity = "error"
+    description = (
+        "an unroll factor exceeds the distance of a carried dependence, so "
+        "iterations inside one issue group are reordered"
+    )
+    hint = (
+        "cap the factor at the minimum carried distance or keep the loop "
+        "sequential (the parallelize pass only unrolls dependence-free loops)"
+    )
+
+    def check(self, context) -> Iterator[AnalysisDiagnostic]:
+        for _node, loop in _loops_in_schedule(context):
+            factor = int(loop.unroll_factor)
+            if factor <= 1:
+                continue
+            result = legal_unroll(loop, factor)
+            if result.ok:
+                continue
+            dep = result.dependences[0]
+            yield context.diagnostic(
+                self,
+                f"unroll factor {factor} breaks {dep.describe()} "
+                f"on a carried dependence",
+                op=loop,
+                factor=factor,
+                distance=dep.min_distance_at(0),
+            )
+
+
+@register_rule
+class BankConflictRule(AnalysisRule):
+    """Partitioned buffers whose same-cycle accesses exceed a bank's ports."""
+
+    rule_id = "bank-conflict"
+    severity = "warning"
+    description = (
+        "the unrolled access set of a partitioned buffer maps more "
+        "same-cycle accesses to one bank than it has ports"
+    )
+    hint = (
+        "raise the cyclic partition factor (or lower the unroll factor) so "
+        "same-cycle addresses spread across banks"
+    )
+
+    def check(self, context) -> Iterator[AnalysisDiagnostic]:
+        from ..transforms.array_partition import (
+            _resolve_through_nodes,
+            partition_factors_of_value,
+        )
+
+        grouped: Dict[int, Tuple[Value, List[Operation]]] = {}
+        for op in context.schedule.walk():
+            if not isinstance(op, (AffineLoadOp, AffineStoreOp)):
+                continue
+            resolved = _resolve_through_nodes(op.memref)
+            entry = grouped.setdefault(id(resolved), (resolved, []))
+            entry[1].append(op)
+        for buffer, accesses in grouped.values():
+            factors = partition_factors_of_value(buffer)
+            if all(f <= 1 for f in factors):
+                continue
+            for conflict in partition_bank_conflicts(buffer, accesses, factors):
+                anchor = buffer.defining_op or accesses[0]
+                yield context.diagnostic(
+                    self,
+                    f"partitioned buffer {conflict.describe()}",
+                    op=anchor,
+                    dim=conflict.dim,
+                    factor=conflict.factor,
+                    hits=conflict.hits,
+                    ports=conflict.ports,
+                )

@@ -29,7 +29,7 @@ __all__ = ["ERROR_RULES", "check_point", "filter_points"]
 #: Rules whose error findings make a point not worth evaluating.  The
 #: warning-level rules (token balance, buffer sizing) stay advisory: they
 #: cost QoR, not correctness, and the DSE loop should still measure them.
-ERROR_RULES = ("deadlock", "memory-race")
+ERROR_RULES = ("deadlock", "memory-race", "loop-carried-race", "illegal-unroll")
 
 #: Stages after which point-specific knobs start mattering; the structural
 #: prefix checked by the filter stops at the first of these.

@@ -148,7 +148,7 @@ def register_rule(cls: Type[AnalysisRule]) -> Type[AnalysisRule]:
 
 
 def rule_registry() -> Dict[str, Type[AnalysisRule]]:
-    from . import checkers  # noqa: F401  (registration side effect)
+    from . import checkers, loop_checkers  # noqa: F401  (registration side effect)
 
     return dict(_REGISTRY)
 

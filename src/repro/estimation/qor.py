@@ -364,8 +364,19 @@ def estimate_band(
     pipelined = any(loop.is_pipelined for loop in all_loops)
     ii = 1.0
     if pipelined:
+        # Recurrence bound: a carried dependence chain caps the achievable
+        # II regardless of the directive, exactly like scheduling would.
+        from ..analysis.recurrence import pipeline_rec_mii
+
         target_ii = max(loop.target_ii for loop in all_loops if loop.is_pipelined)
-        ii = max(float(target_ii), _memory_port_ii(target, unroll_product, platform))
+        rec_mii = max(
+            pipeline_rec_mii(loop) for loop in all_loops if loop.is_pipelined
+        )
+        ii = max(
+            float(target_ii),
+            float(rec_mii),
+            _memory_port_ii(target, unroll_product, platform),
+        )
         latency = iterations * ii + _PIPELINE_DEPTH
     else:
         per_iter = max(2.0, (compute + mem) * _SEQ_CYCLES_PER_OP)
@@ -639,7 +650,7 @@ class QoREstimator:
     """
 
     #: Bump when the analytical model changes to invalidate persisted caches.
-    MODEL_VERSION = 1
+    MODEL_VERSION = 2
 
     def __init__(self, platform: Platform, cache=None) -> None:
         self.platform = platform

@@ -48,28 +48,17 @@ def is_parallel_loop(loop: AffineForOp) -> bool:
     """Whether a loop can be unrolled without breaking a dependence.
 
     Uses the explicit ``parallel`` attribute when present (set by the linalg
-    lowering); otherwise a loop is considered parallel when every store
-    nested inside it indexes the stored buffer with this loop's induction
-    variable (i.e. the loop is not a reduction dimension of any output).
+    lowering); otherwise the loop is parallel exactly when the dependence
+    engine (:mod:`repro.analysis.dependence`) finds no dependence carried by
+    it — distance/direction vectors over the access maps replace the old
+    "every store indexes this IV" heuristic, so reductions through affine
+    subscripts of any shape are caught.
     """
     if loop.has_attr("parallel"):
-        return loop.is_parallel
-    iv = loop.induction_variable
-    stores = [op for op in loop.walk() if isinstance(op, AffineStoreOp)]
-    if not stores:
-        return True
-    for store in stores:
-        positions = store.access_map.result_dim_positions()
-        index_operands = list(store.index_operands)
-        uses_iv = any(
-            pos is not None
-            and pos < len(index_operands)
-            and index_operands[pos] is iv
-            for pos in positions
-        )
-        if not uses_iv:
-            return False
-    return True
+        return bool(loop.is_parallel)
+    from ..analysis.dependence import loop_carries_dependence
+
+    return not loop_carries_dependence(loop)
 
 
 @dataclasses.dataclass

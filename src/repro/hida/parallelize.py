@@ -269,6 +269,32 @@ def proposal_cost(
     return (iterations, dsp, banks, max_factor, -inner_preference)
 
 
+def _order_reductions_outward(band: BandInfo) -> bool:
+    """ScaleHLS-style loop-order optimization, verified by the engine.
+
+    When the innermost loop of a band carries a dependence (a reduction)
+    while other levels are parallel, pipelining the nest as-is is bound by
+    the recurrence II.  Permute the band — reduction loops outward, parallel
+    loops inward, relative order preserved — so the pipelined innermost loop
+    is dependence-free and sustains II=1.  The permutation is applied only
+    when :func:`legal_permutation` proves every dependence survives it.
+    """
+    flags = band.parallel_flags
+    if len(band.band) < 2 or flags[-1] or not any(flags):
+        return False
+    order = [i for i, flag in enumerate(flags) if not flag]
+    order += [i for i, flag in enumerate(flags) if flag]
+    if order == list(range(len(flags))):
+        return False
+    from ..analysis.legality import legal_permutation
+    from ..transforms.loop_transforms import permute_band
+
+    if not legal_permutation(band.band, order):
+        return False
+    permute_band(band.band, order, check=False)
+    return True
+
+
 def parallelize_band(
     band: BandInfo,
     connections: Sequence[Connection],
@@ -304,6 +330,7 @@ def parallelize_band(
     if best is None:
         best = [1] * band.num_loops
     band.apply_unroll_factors(best)
+    _order_reductions_outward(band)
     if options.pipeline and band.band:
         innermost = band.band[-1]
         # Pipeline the innermost loop of the (possibly deeper) nest.
@@ -315,7 +342,12 @@ def parallelize_band(
             if not inner:
                 break
             current = inner[0]
-        pipeline_loop(current, target_ii=options.target_ii)
+        # Clamp the directive to the recurrence bound so the pass never
+        # claims an II its own carried dependences make unachievable.
+        from ..analysis.legality import legal_pipeline_ii
+
+        min_ii = legal_pipeline_ii(current, options.target_ii).min_ii
+        pipeline_loop(current, target_ii=max(options.target_ii, min_ii))
     return list(best)
 
 

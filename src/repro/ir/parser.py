@@ -54,7 +54,24 @@ __all__ = ["IRParseError", "parse_op", "assign_name_hints", "collect_name_hints"
 
 
 class IRParseError(ValueError):
-    """Raised when text does not match the printer's output grammar."""
+    """Raised when text does not match the printer's output grammar.
+
+    Carries the offending position when it is known: ``line`` is 1-based
+    into the *original* text handed to :func:`parse_op` (blank lines count),
+    ``column`` is a 0-based character offset into that line's stripped form.
+    Either may be ``None`` when the error is not anchored to a position
+    (e.g. an empty input).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 #: Characters allowed in SSA value names, op names and attribute keys.
@@ -96,7 +113,8 @@ class _Cursor:
     def expect(self, literal: str) -> None:
         if not self.accept(literal):
             raise IRParseError(
-                f"expected {literal!r} at column {self.pos} of {self.text!r}"
+                f"expected {literal!r} at column {self.pos} of {self.text!r}",
+                column=self.pos,
             )
 
     def skip_spaces(self) -> None:
@@ -109,7 +127,8 @@ class _Cursor:
             self.pos += 1
         if self.pos == start:
             raise IRParseError(
-                f"expected an identifier at column {start} of {self.text!r}"
+                f"expected an identifier at column {start} of {self.text!r}",
+                column=start,
             )
         return self.text[start : self.pos]
 
@@ -121,7 +140,8 @@ class _Cursor:
             self.pos += 1
         if self.pos == start or self.text[start:self.pos] == "-":
             raise IRParseError(
-                f"expected an integer at column {start} of {self.text!r}"
+                f"expected an integer at column {start} of {self.text!r}",
+                column=start,
             )
         return int(self.text[start : self.pos])
 
@@ -184,7 +204,8 @@ def _parse_type(cursor: _Cursor) -> Type:
         cursor.pos += 1
         return FloatType(cursor.integer())
     raise IRParseError(
-        f"expected a type at column {cursor.pos} of {cursor.text!r}"
+        f"expected a type at column {cursor.pos} of {cursor.text!r}",
+        column=cursor.pos,
     )
 
 
@@ -226,7 +247,8 @@ def _parse_affine_expr(cursor: _Cursor) -> AffineExpr:
         kind = _BINARY_KINDS.get(op)
         if kind is None:
             raise IRParseError(
-                f"unknown affine operator {op!r} in {cursor.text!r}"
+                f"unknown affine operator {op!r} in {cursor.text!r}",
+                column=cursor.pos - len(op),
             )
         cursor.expect(" ")
         rhs = _parse_affine_expr(cursor)
@@ -295,7 +317,8 @@ def _parse_number(cursor: _Cursor) -> Any:
     text = cursor.text[start : cursor.pos]
     if not text or text == "-":
         raise IRParseError(
-            f"expected a number at column {start} of {cursor.text!r}"
+            f"expected a number at column {start} of {cursor.text!r}",
+            column=start,
         )
     return float(text) if is_float else int(text)
 
@@ -345,7 +368,10 @@ def _parse_attr_value(cursor: _Cursor) -> Any:
     if cursor.accept('"'):
         end = cursor.text.find('"', cursor.pos)
         if end < 0:
-            raise IRParseError(f"unterminated string in {cursor.text!r}")
+            raise IRParseError(
+                f"unterminated string in {cursor.text!r}",
+                column=cursor.pos - 1,
+            )
         value = cursor.text[cursor.pos : end]
         cursor.pos = end + 1
         return value
@@ -481,7 +507,8 @@ def _parse_op_header(line: str) -> _OpHeader:
         header.opens_region = True
     if not cursor.eof():
         raise IRParseError(
-            f"trailing text at column {cursor.pos} of line {line!r}"
+            f"trailing text at column {cursor.pos} of line {line!r}",
+            column=cursor.pos,
         )
     if len(header.result_types) != len(header.result_names):
         raise IRParseError(
@@ -517,12 +544,24 @@ def _parse_block_header(
     return block
 
 
+def _at_line(error: IRParseError, lineno: int) -> IRParseError:
+    """Anchor ``error`` to ``lineno`` unless it already carries a line."""
+    if error.line is None:
+        error.line = lineno
+    return error
+
+
 def _parse_op(
-    lines: List[str], index: int, symtab: Dict[str, Value]
+    lines: List[Tuple[int, str]], index: int, symtab: Dict[str, Value]
 ) -> Tuple[Operation, int]:
-    line = lines[index]
-    header = _parse_op_header(line)
-    operands = [_lookup(symtab, name, line) for name in header.operand_names]
+    open_lineno, line = lines[index]
+    try:
+        header = _parse_op_header(line)
+        operands = [
+            _lookup(symtab, name, line) for name in header.operand_names
+        ]
+    except IRParseError as error:
+        raise _at_line(error, open_lineno)
     op = create_operation(
         header.op_name,
         operands=operands,
@@ -532,7 +571,9 @@ def _parse_op(
     )
     for name, result in zip(header.result_names, op.results):
         if name in symtab:
-            raise IRParseError(f"duplicate value name %{name} in {line!r}")
+            raise IRParseError(
+                f"duplicate value name %{name} in {line!r}", line=open_lineno
+            )
         symtab[name] = result
     index += 1
     if not header.opens_region:
@@ -541,8 +582,12 @@ def _parse_op(
     block: Optional[Block] = None
     while True:
         if index >= len(lines):
-            raise IRParseError(f"unterminated region of {header.op_name!r}")
-        line = lines[index]
+            raise IRParseError(
+                f"unterminated region of {header.op_name!r} "
+                f"(opened at line {open_lineno})",
+                line=open_lineno,
+            )
+        lineno, line = lines[index]
         if line == "}":
             index += 1
             break
@@ -554,7 +599,10 @@ def _parse_op(
             index += 1
             continue
         if line.startswith("^bb"):
-            block = _parse_block_header(line, symtab)
+            try:
+                block = _parse_block_header(line, symtab)
+            except IRParseError as error:
+                raise _at_line(error, lineno)
             region.append_block(block)
             index += 1
             continue
@@ -577,16 +625,26 @@ def parse_op(text: str) -> Operation:
     for one top-level operation (any indentation is insignificant — the
     grammar is token-delimited).  Values come back without name hints; see
     :func:`assign_name_hints`.
+
+    Failures raise :class:`IRParseError` anchored to the offending position:
+    ``error.line`` is the 1-based line in ``text`` and ``error.column`` the
+    0-based offset into that line's stripped form (when known).
     """
-    lines = [line.strip() for line in text.split("\n") if line.strip()]
+    lines = [
+        (number, line.strip())
+        for number, line in enumerate(text.split("\n"), start=1)
+        if line.strip()
+    ]
     if not lines:
         raise IRParseError("empty IR text")
     symtab: Dict[str, Value] = {}
     op, index = _parse_op(lines, 0, symtab)
     if index != len(lines):
+        lineno, line = lines[index]
         raise IRParseError(
-            f"trailing content after top-level op (line {index + 1}): "
-            f"{lines[index]!r}"
+            f"trailing content after top-level op (line {lineno}): "
+            f"{line!r}",
+            line=lineno,
         )
     return op
 

@@ -9,18 +9,25 @@ access with unroll 4 touches a range of 8 elements per cycle).
 The resulting :class:`~repro.dialects.hls.ArrayPartition` is attached to the
 buffer (``hida.buffer`` attribute or value annotation) and consumed by the
 resource model to compute BRAM bank counts (Table 6 of the paper).
+
+With ``strict=True`` the chosen partition is verified against the
+dependence engine's bank-conflict model
+(:func:`repro.analysis.legality.partition_bank_conflicts`): a partition
+whose same-cycle access set still collides in one bank raises
+``TransformLegalityError`` instead of silently under-provisioning ports.
 """
 
 from __future__ import annotations
 
 import contextlib
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
 from ..dialects.dataflow import BufferOp, NodeOp
 from ..dialects.hls import ArrayPartition, PartitionKind, partition_of, set_partition
-from ..ir.core import Operation, Value
+from ..ir.core import Block, BlockArgument, Operation, Value
+from ..ir.types import MemRefType
 
 __all__ = [
     "access_partition_demand",
@@ -29,9 +36,19 @@ __all__ = [
     "partition_factors_of_value",
 ]
 
+AffineAccess = Union[AffineLoadOp, AffineStoreOp]
+
+
+def _buffer_shape(buffer: Value) -> Tuple[int, ...]:
+    buffer_type = buffer.type
+    if isinstance(buffer_type, MemRefType):
+        return tuple(int(dim) for dim in buffer_type.shape)
+    shape = getattr(buffer_type, "shape", ())
+    return tuple(int(dim) for dim in shape)
+
 
 def _loop_unroll_product_for_dim(
-    access: Operation, dim_position: Optional[int], stride: float
+    access: AffineAccess, dim_position: Optional[int], stride: float
 ) -> int:
     """Partition demand of one buffer dimension for one access.
 
@@ -46,7 +63,7 @@ def _loop_unroll_product_for_dim(
         return 1
     iv = index_operands[dim_position]
     owner_block = iv.owner
-    loop = owner_block.parent_op if owner_block is not None else None
+    loop = owner_block.parent_op if isinstance(owner_block, Block) else None
     if not isinstance(loop, AffineForOp):
         return 1
     factor = loop.unroll_factor
@@ -54,16 +71,16 @@ def _loop_unroll_product_for_dim(
     return max(1, math.ceil(factor * max(stride_mag, 1.0)))
 
 
-def access_partition_demand(access: Operation, rank: int) -> List[int]:
+def access_partition_demand(access: AffineAccess, rank: int) -> List[int]:
     """Per-dimension partition demand of a single affine load/store."""
     access_map = access.access_map
     positions = access_map.result_dim_positions()
     strides = access_map.result_strides()
-    demand = []
+    demand: List[int] = []
     for d in range(rank):
         if d < len(positions):
             demand.append(
-                _loop_unroll_product_for_dim(access, positions[d], strides[d])
+                _loop_unroll_product_for_dim(access, positions[d], float(strides[d]))
             )
         else:
             demand.append(1)
@@ -71,15 +88,19 @@ def access_partition_demand(access: Operation, rank: int) -> List[int]:
 
 
 def partition_for_accesses(
-    buffer: Value, accesses: Sequence[Operation]
+    buffer: Value, accesses: Sequence[AffineAccess], strict: bool = False
 ) -> ArrayPartition:
     """Combine the demands of all accesses into one partition for ``buffer``.
 
     The per-dimension factor is the maximum demand over all accesses; cyclic
     partitioning is used (it matches unrolled innermost access patterns) and
     factors are clamped to the dimension size.
+
+    ``strict=True`` additionally verifies the clamped factors against the
+    bank-conflict model and raises ``TransformLegalityError`` when the
+    unrolled access set of some dimension still exceeds one bank's ports.
     """
-    shape = buffer.type.shape
+    shape = _buffer_shape(buffer)
     rank = len(shape)
     factors = [1] * rank
     for access in accesses:
@@ -87,14 +108,29 @@ def partition_for_accesses(
         for d in range(rank):
             factors[d] = max(factors[d], demand[d])
     factors = [min(f, max(int(s), 1)) for f, s in zip(factors, shape)]
+    if strict:
+        from ..analysis.legality import (
+            TransformLegalityError,
+            partition_bank_conflicts,
+        )
+
+        conflicts = partition_bank_conflicts(buffer, list(accesses), factors)
+        if conflicts:
+            raise TransformLegalityError(
+                "array partition",
+                f"clamped factors {factors} leave a bank conflict: "
+                f"{conflicts[0].describe()}",
+            )
     kinds = [
         PartitionKind.CYCLIC if f > 1 else PartitionKind.NONE for f in factors
     ]
     return ArrayPartition(kinds, factors)
 
 
-def _accesses_of(buffer: Value, within: Optional[Operation] = None) -> List[Operation]:
-    accesses = []
+def _accesses_of(
+    buffer: Value, within: Optional[Operation] = None
+) -> List[AffineAccess]:
+    accesses: List[AffineAccess] = []
     for user in buffer.users:
         if isinstance(user, (AffineLoadOp, AffineStoreOp)) and (
             within is None or within.is_ancestor_of(user)
@@ -111,15 +147,18 @@ def partition_factors_of_value(buffer: Value) -> Tuple[int, ...]:
     partition chosen at the schedule level.
     """
     buffer = _resolve_through_nodes(buffer)
-    if isinstance(buffer.defining_op, BufferOp):
-        return buffer.defining_op.partition.factors
+    defining = buffer.defining_op
+    if isinstance(defining, BufferOp):
+        return tuple(defining.partition.factors)
     partition = partition_of(buffer)
     if partition is not None:
-        return partition.factors
-    return tuple([1] * len(buffer.type.shape))
+        return tuple(partition.factors)
+    return tuple([1] * len(_buffer_shape(buffer)))
 
 
-def partition_buffers_in(top: Operation) -> Dict[int, ArrayPartition]:
+def partition_buffers_in(
+    top: Operation, strict: bool = False
+) -> Dict[int, ArrayPartition]:
     """Derive and attach partitions for every buffer accessed under ``top``.
 
     Handles both ``hida.buffer`` results (partition stored on the op) and
@@ -129,9 +168,10 @@ def partition_buffers_in(top: Operation) -> Dict[int, ArrayPartition]:
     the connection-aware behaviour evaluated in Table 6.
 
     Returns a map from ``id(buffer value)`` to the chosen partition.
+    ``strict`` is forwarded to :func:`partition_for_accesses`.
     """
     # Gather accesses per underlying buffer.
-    demands: Dict[int, Tuple[Value, List[Operation]]] = {}
+    demands: Dict[int, Tuple[Value, List[AffineAccess]]] = {}
     for op in top.walk():
         if not isinstance(op, (AffineLoadOp, AffineStoreOp)):
             continue
@@ -143,7 +183,7 @@ def partition_buffers_in(top: Operation) -> Dict[int, ArrayPartition]:
 
     chosen: Dict[int, ArrayPartition] = {}
     for key, (buffer, accesses) in demands.items():
-        partition = partition_for_accesses(buffer, accesses)
+        partition = partition_for_accesses(buffer, accesses, strict=strict)
         defining = buffer.defining_op
         if isinstance(defining, BufferOp):
             defining.set_partition(partition)
@@ -161,11 +201,7 @@ def _resolve_through_nodes(buffer: Value) -> Value:
     while seen < 16:
         seen += 1
         owner = current.owner
-        if owner is None or not hasattr(owner, "parent_op"):
-            return current
-        from ..ir.core import Block
-
-        if not isinstance(owner, Block):
+        if not isinstance(owner, Block) or not isinstance(current, BlockArgument):
             return current
         parent = owner.parent_op
         if isinstance(parent, NodeOp) or (

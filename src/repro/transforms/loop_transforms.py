@@ -4,28 +4,38 @@ These play the role of the ScaleHLS loop/directive transforms that HIDA
 reuses.  Unrolling and pipelining are expressed primarily as directives
 (attributes consumed by the QoR estimator and the HLS C++ emitter); literal
 unrolling is available for small factors and is exercised by the tests.
+
+Every transform can be gated on the dependence engine: pass ``check=True``
+(or call :func:`permute_band`, which always checks) and an illegal request
+raises :class:`repro.analysis.legality.TransformLegalityError` instead of
+producing IR whose directives no schedule could honour.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..dialects.affine import AffineForOp, AffineYieldOp, get_perfectly_nested_band
+from ..dialects.affine import (
+    AffineApplyOp,
+    AffineForOp,
+    AffineYieldOp,
+    get_perfectly_nested_band,
+)
 from ..dialects.affine_map import AffineMap, dim
-from ..dialects.affine import AffineApplyOp
 from ..ir.builder import Builder
 from ..ir.core import Operation, Value
 
 __all__ = [
     "annotate_unroll",
-    "unroll_loop",
-    "pipeline_loop",
-    "pipeline_innermost_loops",
-    "tile_loop",
-    "tile_band",
-    "normalize_band_unroll",
-    "loop_bands_of",
     "innermost_loops_of",
+    "loop_bands_of",
+    "normalize_band_unroll",
+    "permute_band",
+    "pipeline_innermost_loops",
+    "pipeline_loop",
+    "tile_band",
+    "tile_loop",
+    "unroll_loop",
 ]
 
 
@@ -53,21 +63,32 @@ def innermost_loops_of(op: Operation) -> List[AffineForOp]:
     return result
 
 
-def annotate_unroll(loop: AffineForOp, factor: int) -> None:
-    """Record an unroll directive on ``loop`` (clamped to its trip count)."""
+def annotate_unroll(loop: AffineForOp, factor: int, check: bool = False) -> None:
+    """Record an unroll directive on ``loop`` (clamped to its trip count).
+
+    With ``check=True`` the request is verified against the dependence
+    engine first and an illegal factor raises ``TransformLegalityError``.
+    """
     factor = max(1, min(int(factor), max(loop.trip_count, 1)))
+    if check and factor > 1:
+        from ..analysis.legality import legal_unroll
+
+        legal_unroll(loop, factor).raise_if_illegal()
     loop.set_unroll_factor(factor)
 
 
-def unroll_loop(loop: AffineForOp, factor: int, literal: bool = False) -> AffineForOp:
+def unroll_loop(
+    loop: AffineForOp, factor: int, literal: bool = False, check: bool = False
+) -> AffineForOp:
     """Unroll ``loop`` by ``factor``.
 
     With ``literal=False`` (default) only the directive attribute is set,
     matching how downstream HLS tools consume unroll pragmas.  With
     ``literal=True`` the loop body is physically replicated ``factor`` times
     and the loop step is scaled, which is used in tests and small kernels.
+    ``check=True`` verifies the factor against carried dependences first.
     """
-    annotate_unroll(loop, factor)
+    annotate_unroll(loop, factor, check=check)
     if not literal:
         return loop
     factor = loop.unroll_factor
@@ -94,8 +115,17 @@ def unroll_loop(loop: AffineForOp, factor: int, literal: bool = False) -> Affine
     return loop
 
 
-def pipeline_loop(loop: AffineForOp, target_ii: int = 1) -> None:
-    """Apply the loop-pipeline directive to ``loop``."""
+def pipeline_loop(loop: AffineForOp, target_ii: int = 1, check: bool = False) -> None:
+    """Apply the loop-pipeline directive to ``loop``.
+
+    With ``check=True`` a ``target_ii`` below the loop's recurrence MII
+    raises ``TransformLegalityError`` (the hida parallelize pass instead
+    *clamps* the II up to the bound).
+    """
+    if check:
+        from ..analysis.legality import legal_pipeline_ii
+
+        legal_pipeline_ii(loop, target_ii).raise_if_illegal()
     loop.set_pipeline(True, target_ii)
 
 
@@ -105,6 +135,58 @@ def pipeline_innermost_loops(op: Operation, target_ii: int = 1) -> int:
     for loop in loops:
         pipeline_loop(loop, target_ii)
     return len(loops)
+
+
+def permute_band(
+    band: Sequence[AffineForOp], permutation: Sequence[int], check: bool = True
+) -> List[AffineForOp]:
+    """Reorder a perfect band so new level ``j`` is old level ``permutation[j]``.
+
+    The loops stay in place structurally; their bounds, steps, directive
+    attributes and induction-variable uses are exchanged (two-phase swap, so
+    cyclic permutations work).  Returns the band in its new level order,
+    i.e. ``band`` itself — the outermost op is still the outermost op.
+
+    ``check=True`` (default) verifies legality first: a permutation that
+    could reverse a dependence raises ``TransformLegalityError``.
+    """
+    loops = list(band)
+    order = [int(i) for i in permutation]
+    if sorted(order) != list(range(len(loops))):
+        raise ValueError(
+            f"{order} is not a permutation of 0..{len(loops) - 1}"
+        )
+    if check:
+        from ..analysis.legality import legal_permutation
+
+        legal_permutation(loops, order).raise_if_illegal()
+    if order == list(range(len(loops))):
+        return loops
+
+    bounds = [(l.lower_bound, l.upper_bound, l.step) for l in loops]
+    attrs = [dict(l.attributes) for l in loops]
+    hints = [l.induction_variable.name_hint for l in loops]
+    # Phase 1: route every old IV's uses through a placeholder so swaps
+    # cannot collide (IVs are block arguments and stay physically in place).
+    placeholders: List[Value] = []
+    for loop in loops:
+        placeholder = loop.body.add_argument(loop.induction_variable.type)
+        loop.induction_variable.replace_uses_if(placeholder, lambda _user: True)
+        placeholders.append(placeholder)
+    # Phase 2: old level p moves to new level order.index(p): its iteration
+    # values are now produced by the loop at that new position.
+    for new_level, old_level in enumerate(order):
+        lb, ub, step = bounds[old_level]
+        loops[new_level].set_bounds(lb, ub, step)
+        loops[new_level].attributes.clear()
+        loops[new_level].attributes.update(attrs[old_level])
+        loops[new_level].induction_variable.name_hint = hints[old_level]
+        placeholders[old_level].replace_uses_if(
+            loops[new_level].induction_variable, lambda _user: True
+        )
+    for loop in loops:
+        loop.body.erase_argument(len(loop.body.arguments) - 1)
+    return loops
 
 
 def tile_loop(loop: AffineForOp, tile_size: int) -> Optional[AffineForOp]:

@@ -125,8 +125,11 @@ def test_rule_catalog_and_registry():
         "token-balance",
         "memory-race",
         "buffer-sizing",
+        "loop-carried-race",
+        "illegal-unroll",
+        "bank-conflict",
     ]
-    assert len(default_rules()) == 4
+    assert len(default_rules()) == 7
     assert [r.rule_id for r in default_rules(only=["deadlock"])] == ["deadlock"]
     with pytest.raises(ValueError):
         default_rules(only=["bogus"])
@@ -483,3 +486,124 @@ def test_compiler_cli_verify_ir_flag(capsys):
         "--workload", "2mm", "--target", "zu3eg", "--spec", spec,
         "--verify-ir",
     ]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Loop-level rules (dependence-engine backed)
+# ---------------------------------------------------------------------------
+
+
+def _lowered_kernel(build):
+    """Build a KernelBuilder module and lower it to a scheduled design."""
+    from repro.compiler.spec import parse_pipeline
+    from repro.compiler.stages import CompilationState, build_stages
+
+    module = build()
+    state = CompilationState(module=module, platform=get_platform("vu9p-slr"))
+    spec = "construct-dataflow,lower-linalg,lower-structural"
+    for stage in build_stages(parse_pipeline(spec)):
+        stage.run(state)
+    return state.module
+
+
+def _recurrence_kernel():
+    # Two nests so construct-dataflow builds a dispatch (one task each):
+    # the recurrence nest plus a trivial consumer nest.
+    from repro.frontend.cpp import KernelBuilder
+
+    kb = KernelBuilder("rec")
+    kb.add_input("B", (16,))
+    kb.add_inout("A", (16,))
+    kb.add_output("C", (16,))
+    with kb.loop("i", 16) as i:
+        kb.store("A", [i], kb.load("A", [i - 1]) + kb.load("B", [i]))
+    with kb.loop("j", 16) as j:
+        kb.store("C", [j], kb.load("A", [j]) * 2.0)
+    return kb.finish()
+
+
+def _schedule_loops(module):
+    from repro.dialects.affine import AffineForOp
+    from repro.dialects.dataflow import ScheduleOp
+
+    loops = []
+    for op in module.walk():
+        if isinstance(op, ScheduleOp):
+            loops.extend(l for l in op.walk() if isinstance(l, AffineForOp))
+    return loops
+
+
+def test_loop_carried_race_rule_flags_underclaimed_ii():
+    module = _lowered_kernel(_recurrence_kernel)
+    loop = _schedule_loops(module)[0]
+    loop.set_pipeline(True, 1)  # rec-MII of the A[i-1] chain is 3
+    report = analyze_module(module, only=["loop-carried-race"])
+    assert len(report.errors) == 1
+    finding = report.errors[0]
+    assert finding.data["target_ii"] == 1
+    assert finding.data["rec_mii"] == 3
+    # Claiming the achievable II silences the rule.
+    loop.set_pipeline(True, 3)
+    assert not analyze_module(module, only=["loop-carried-race"]).diagnostics
+
+
+def test_illegal_unroll_rule_flags_broken_distance():
+    module = _lowered_kernel(_recurrence_kernel)
+    loop = _schedule_loops(module)[0]
+    loop.set_unroll_factor(4)  # carried distance is exactly 1
+    report = analyze_module(module, only=["illegal-unroll"])
+    assert len(report.errors) == 1
+    assert report.errors[0].data["factor"] == 4
+    assert report.errors[0].data["distance"] == 1
+    loop.set_unroll_factor(1)
+    assert not analyze_module(module, only=["illegal-unroll"]).diagnostics
+
+
+def test_bank_conflict_rule_flags_underpartitioned_buffer():
+    from repro.dialects.hls import ArrayPartition, PartitionKind, set_partition
+    from repro.frontend.cpp import KernelBuilder
+    from repro.transforms.array_partition import _resolve_through_nodes
+
+    def build():
+        kb = KernelBuilder("stride2")
+        kb.add_input("A", (32,))
+        kb.add_output("B", (16,))
+        kb.add_output("C", (16,))
+        with kb.loop("i", 16) as i:
+            kb.store("B", [i], kb.load("A", [i * 2]) + 1.0)
+        with kb.loop("j", 16) as j:
+            kb.store("C", [j], kb.load("A", [j]) + 1.0)
+        return kb.finish()
+
+    module = _lowered_kernel(build)
+    loop = _schedule_loops(module)[0]
+    loop.set_unroll_factor(4)
+    from repro.dialects.affine import AffineLoadOp
+
+    load = next(op for op in module.walk() if isinstance(op, AffineLoadOp))
+    buffer = _resolve_through_nodes(load.memref)
+    # Factor 2 on a stride-2 unrolled-by-4 stream: every copy hits bank 0.
+    set_partition(buffer, ArrayPartition([PartitionKind.CYCLIC], [2]))
+    report = analyze_module(module, only=["bank-conflict"])
+    warnings = report.by_severity("warning")
+    assert warnings
+    assert warnings[0].data["hits"] == 4
+    # A wide-enough cyclic factor resolves it.
+    set_partition(buffer, ArrayPartition([PartitionKind.CYCLIC], [8]))
+    assert not analyze_module(module, only=["bank-conflict"]).diagnostics
+
+
+def test_loop_rules_respect_suppression():
+    from repro.dialects.dataflow import ScheduleOp
+
+    module = _lowered_kernel(_recurrence_kernel)
+    loop = _schedule_loops(module)[0]
+    loop.set_unroll_factor(4)
+    assert analyze_module(module, only=["illegal-unroll"]).errors
+    schedule = next(
+        op for op in module.walk() if isinstance(op, ScheduleOp)
+    )
+    schedule.set_attr(SUPPRESS_ATTR, ["illegal-unroll"])
+    report = analyze_module(module, only=["illegal-unroll"])
+    assert not report.diagnostics
+    assert report.suppressed == 1

@@ -17,16 +17,25 @@ an unfiltered run on the same seed.
 
 import pytest
 
-from repro.analysis import analyze_module
+from repro.analysis import analyze_module, legal_unroll, pipeline_rec_mii
 from repro.baselines.ablation import ABLATION_MODES, ablation_pipeline_spec
 from repro.compiler import Compiler
 from repro.compiler.driver import DEFAULT_PIPELINE
+from repro.dialects.affine import AffineForOp, AffineLoadOp, AffineStoreOp
 from repro.dse.runner import explore
 from repro.dse.space import build_space
 from repro.estimation.dataflow_sim import build_channels, simulate_dataflow
+from repro.estimation.qor import estimate_band, simulate_node
+from repro.estimation.platform import get_platform
+from repro.transforms.loop_transforms import loop_bands_of
 from repro.workloads import iter_workloads
 
-from test_analysis import cycle_module
+from test_analysis import (
+    _lowered_kernel,
+    _recurrence_kernel,
+    _schedule_loops,
+    cycle_module,
+)
 
 STALL = 1.0 + 1e-6
 
@@ -90,6 +99,146 @@ def test_no_clean_zoo_design_is_flagged():
                 for finding in report.errors
             )
     assert not offenders, "\n".join(offenders)
+
+
+def test_rec_mii_is_a_sound_bound_across_the_zoo():
+    """rec-MII never exceeds what the simulator measures, zoo-wide.
+
+    Two pins per workload x pipeline: every pipelined loop's directive II
+    has been clamped up to its recurrence bound (the parallelize pass
+    consulted the engine), and every dataflow node's frame-accurate
+    initiation interval is at least the recurrence bound of its pipelined
+    loops (the static bound is sound against the measurement oracle).
+    """
+    platform = get_platform("vu9p-slr")
+    checked_loops = checked_nodes = 0
+    for handle in iter_workloads():
+        for mode, spec in _zoo_specs():
+            result = Compiler.from_spec(spec, platform="vu9p-slr").run(
+                workload=handle
+            )
+            where = f"{handle.label()}[{mode}]"
+            for loop in result.module.walk():
+                if not isinstance(loop, AffineForOp) or not loop.is_pipelined:
+                    continue
+                rec_mii = pipeline_rec_mii(loop)
+                assert loop.target_ii >= rec_mii, (
+                    f"{where}: pipelined loop claims II={loop.target_ii} "
+                    f"below its rec-MII {rec_mii}"
+                )
+                checked_loops += 1
+            for schedule in result.schedules:
+                nodes, _ = build_channels(schedule)
+                for node in nodes:
+                    rec_mii = max(
+                        (
+                            pipeline_rec_mii(loop)
+                            for loop in node.walk()
+                            if isinstance(loop, AffineForOp)
+                            and loop.is_pipelined
+                        ),
+                        default=1,
+                    )
+                    if rec_mii <= 1:
+                        continue
+                    _, interval = simulate_node(node, platform)
+                    assert interval >= rec_mii, (
+                        f"{where}: node {node.label!r} simulates at "
+                        f"interval {interval} below rec-MII {rec_mii}"
+                    )
+                    checked_nodes += 1
+    assert checked_loops > 0  # the sweep actually exercised the bound
+
+
+def test_flagged_race_is_a_real_serialization():
+    """A ``loop-carried-race`` finding means the claimed rate is not real:
+    the estimator charges the full recurrence II despite the directive, so
+    claiming the honest bound costs nothing."""
+    module = _lowered_kernel(_recurrence_kernel)
+    loop = _schedule_loops(module)[0]
+    loop.set_pipeline(True, 1)
+    report = analyze_module(module, only=["loop-carried-race"])
+    assert report.errors
+    rec_mii = report.errors[0].data["rec_mii"]
+    assert rec_mii > loop.target_ii
+    platform = get_platform("vu9p-slr")
+    latency_claimed, _, _ = estimate_band([loop], platform)
+    # The optimistic directive did not buy the claimed rate ...
+    assert latency_claimed >= loop.trip_count * rec_mii
+    # ... and the honest claim is exactly as fast, with no finding.
+    loop.set_pipeline(True, rec_mii)
+    latency_honest, _, _ = estimate_band([loop], platform)
+    assert latency_honest == latency_claimed
+    assert not analyze_module(module, only=["loop-carried-race"]).errors
+
+
+def _recurrence_source(distance, trip=16):
+    from repro.frontend.cpp import KernelBuilder
+
+    kb = KernelBuilder("rec")
+    kb.add_input("B", (trip,))
+    kb.add_inout("A", (trip,))
+    with kb.loop("i", trip) as i:
+        kb.store("A", [i], kb.load("A", [i - distance]) + kb.load("B", [i]))
+    return kb.finish()
+
+
+def _replay_groups(loop, group):
+    """Execute ``loop`` with ``group`` iterations issued per cycle.
+
+    Addresses come from evaluating each access's affine map at concrete IV
+    values; an unrolled group issues all of its loads before any of its
+    stores, which is exactly the reordering ``legal_unroll`` reasons about.
+    Returns the final memory image of every buffer.
+    """
+    loads = [op for op in loop.walk() if isinstance(op, AffineLoadOp)]
+    store = next(op for op in loop.walk() if isinstance(op, AffineStoreOp))
+    memories = {}
+
+    def memory_of(buffer):
+        if id(buffer) not in memories:
+            seed = 100.0 * (len(memories) + 1)
+            memories[id(buffer)] = [
+                seed + index for index in range(buffer.type.num_elements)
+            ]
+        return memories[id(buffer)]
+
+    def address(op, iv):
+        dims = [iv for _ in op.index_operands]
+        return int(op.access_map.evaluate(dims)[0])
+
+    def read(op, iv):
+        cells = memory_of(op.memref)
+        addr = address(op, iv)
+        return cells[addr] if 0 <= addr < len(cells) else 0.0
+
+    ivs = [
+        loop.lower_bound + k * loop.step for k in range(loop.trip_count)
+    ]
+    for start in range(0, len(ivs), group):
+        burst = ivs[start : start + group]
+        pending = [
+            (iv, sum(read(op, iv) for op in loads)) for iv in burst
+        ]
+        for iv, value in pending:
+            memory_of(store.memref)[address(store, iv)] = value
+    return [tuple(cells) for cells in memories.values()]
+
+
+@pytest.mark.parametrize(
+    "distance,factor", [(1, 4), (2, 2), (2, 4), (4, 4)]
+)
+def test_unroll_legality_matches_ordering_replay(distance, factor):
+    """``legal_unroll`` verdicts agree with ground truth: a concrete replay
+    of the unrolled issue order diverges from sequential execution exactly
+    when the verdict is illegal."""
+    loop = loop_bands_of(
+        _recurrence_source(distance).functions[0]
+    )[0][0]
+    verdict = bool(legal_unroll(loop, factor))
+    sequential = _replay_groups(loop, 1)
+    grouped = _replay_groups(loop, factor)
+    assert verdict == (grouped == sequential)
 
 
 def _strip_timing(records):

@@ -1,0 +1,247 @@
+"""Tests for the affine dependence engine (distance/direction vectors).
+
+Pins the precision model: exact distances where subscripts are uniform,
+sound lower bounds on carried reduction levels, independence from the
+GCD/bounds tests, and conservative degradation everywhere else.
+"""
+
+from repro.analysis import (
+    band_dependences,
+    loop_carried_dependences,
+    loop_carries_dependence,
+    nest_dependences,
+)
+from repro.frontend.cpp import KernelBuilder
+from repro.hida.analysis import is_parallel_loop
+from repro.transforms import tile_loop
+from repro.transforms.loop_transforms import loop_bands_of
+
+
+def _loops(module):
+    """All loops of the module's first function, outermost first."""
+    bands = loop_bands_of(module.functions[0])
+    return [loop for band in bands for loop in band]
+
+
+def gemm_module(m=8, n=8, k=8):
+    kb = KernelBuilder("gemm")
+    kb.add_input("A", (m, k))
+    kb.add_input("B", (k, n))
+    kb.add_inout("C", (m, n))
+    with kb.loop_nest(("i", "j", "k"), (m, n, k)) as (i, j, kk):
+        kb.store(
+            "C",
+            [i, j],
+            kb.load("C", [i, j]) + kb.load("A", [i, kk]) * kb.load("B", [kk, j]),
+        )
+    return kb.finish()
+
+
+def recurrence_module(distance=1, trip=16):
+    """A[i] = A[i - distance] + B[i] — a carried RAW at exactly `distance`."""
+    kb = KernelBuilder("rec")
+    kb.add_input("B", (trip,))
+    kb.add_inout("A", (trip,))
+    with kb.loop("i", trip) as i:
+        kb.store("A", [i], kb.load("A", [i - distance]) + kb.load("B", [i]))
+    return kb.finish()
+
+
+# ---------------------------------------------------------------------------
+# Distance vectors on the classic kernels
+# ---------------------------------------------------------------------------
+
+
+class TestGemm:
+    def test_reduction_carried_at_innermost_only(self):
+        loops = _loops(gemm_module())
+        i, j, k = loops
+        assert not loop_carries_dependence(i)
+        assert not loop_carries_dependence(j)
+        assert loop_carries_dependence(k)
+
+    def test_carried_distance_vector(self):
+        loops = _loops(gemm_module())
+        carried = [
+            dep
+            for dep in nest_dependences(loops[0], include_loop_independent=False)
+            if len(dep.loops) == 3
+        ]
+        assert carried
+        for dep in carried:
+            # Equal i and j iterations; the k level orders the iterations
+            # (strictly for the value recurrences, >= 0 for the WAR).
+            assert dep.direction[:2] == ("=", "=")
+            assert dep.carried_at(2)
+            assert not dep.carried_at(0) and not dep.carried_at(1)
+            if dep.kind in ("RAW", "WAW"):
+                assert dep.direction[2] == "<"
+                assert dep.min_distance_at(2) >= 1
+
+    def test_all_three_kinds_present(self):
+        deps = band_dependences(_loops(gemm_module()))
+        kinds = {dep.kind for dep in deps if dep.buffer.name_hint == "C"}
+        assert kinds == {"RAW", "WAR", "WAW"}
+
+    def test_pure_inputs_carry_nothing(self):
+        deps = nest_dependences(_loops(gemm_module())[0])
+        # A and B are only read: no dependence mentions them.
+        assert all(dep.buffer.name_hint == "C" for dep in deps)
+
+
+class TestExactDistances:
+    def test_unit_recurrence(self):
+        loop = _loops(recurrence_module(distance=1))[0]
+        carried = loop_carried_dependences(loop)
+        raw = [d for d in carried if d.kind == "RAW"]
+        assert raw
+        assert all(d.distance[0].kind == "exact" for d in raw)
+        assert all(d.min_distance_at(0) == 1 for d in raw)
+
+    def test_distance_two_recurrence(self):
+        loop = _loops(recurrence_module(distance=2))[0]
+        raw = [d for d in loop_carried_dependences(loop) if d.kind == "RAW"]
+        assert raw and all(d.min_distance_at(0) == 2 for d in raw)
+
+    def test_loop_independent_war_same_index(self):
+        kb = KernelBuilder("copy_then_clear")
+        kb.add_inout("A", (8,))
+        kb.add_output("B", (8,))
+        with kb.loop("i", 8) as i:
+            kb.store("B", [i], kb.load("A", [i]))
+            kb.store("A", [i], 0.0)
+        loop = _loops(kb.finish())[0]
+        deps = nest_dependences(loop)
+        war = [d for d in deps if d.kind == "WAR" and d.buffer.name_hint == "A"]
+        assert war
+        assert all(d.is_loop_independent for d in war)
+        # The same-iteration WAR does not serialize the loop.
+        assert not loop_carries_dependence(loop)
+
+
+# ---------------------------------------------------------------------------
+# Independence proofs (GCD and bounds tests)
+# ---------------------------------------------------------------------------
+
+
+class TestIndependence:
+    def test_gcd_even_odd_streams(self):
+        """B[2i] written, B[2i+1] read: parities never meet."""
+        kb = KernelBuilder("evenodd")
+        kb.add_inout("B", (32,))
+        with kb.loop("i", 8) as i:
+            kb.store("B", [i * 2], kb.load("B", [i * 2 + 1]) + 1.0)
+        loop = _loops(kb.finish())[0]
+        assert not loop_carries_dependence(loop)
+
+    def test_bounds_offset_beyond_trip(self):
+        """A[i] written, A[i+10] read with trip 8: ranges never overlap."""
+        kb = KernelBuilder("farapart")
+        kb.add_inout("A", (32,))
+        with kb.loop("i", 8) as i:
+            kb.store("A", [i], kb.load("A", [i + 10]) + 1.0)
+        loop = _loops(kb.finish())[0]
+        assert not loop_carries_dependence(loop)
+
+    def test_bounds_offset_within_trip_depends(self):
+        kb = KernelBuilder("nearby")
+        kb.add_inout("A", (32,))
+        with kb.loop("i", 8) as i:
+            kb.store("A", [i], kb.load("A", [i + 3]) + 1.0)
+        loop = _loops(kb.finish())[0]
+        assert loop_carries_dependence(loop)
+
+    def test_distinct_constant_addresses(self):
+        kb = KernelBuilder("consts")
+        kb.add_inout("A", (8,))
+        with kb.loop("i", 8) as i:
+            kb.store("A", [0], kb.load("A", [1]) + 1.0)
+        loop = _loops(kb.finish())[0]
+        deps = [
+            d for d in nest_dependences(loop) if d.kind == "RAW"
+        ]
+        # A[0] and A[1] never alias; only the A[0] self-WAW remains carried.
+        assert not deps
+
+
+# ---------------------------------------------------------------------------
+# Composed (tiled) subscripts and conservatism
+# ---------------------------------------------------------------------------
+
+
+class TestTiledAndConservative:
+    def test_tiled_parallel_loop_stays_parallel(self):
+        kb = KernelBuilder("scale")
+        kb.add_input("A", (16,))
+        kb.add_output("B", (16,))
+        with kb.loop("i", 16) as i:
+            kb.store("B", [i], kb.load("A", [i]) * 2.0)
+        module = kb.finish()
+        loop = _loops(module)[0]
+        point = tile_loop(loop, 4)
+        assert point is not None
+        # Accesses now index through an affine.apply (tile_iv + point_iv);
+        # the linearizer sees through it and both levels stay parallel.
+        assert not loop_carries_dependence(loop)
+        assert not loop_carries_dependence(point)
+
+    def test_tiled_recurrence_still_detected(self):
+        module = recurrence_module(distance=1, trip=16)
+        loop = _loops(module)[0]
+        tile_loop(loop, 4)
+        deps = nest_dependences(loop, include_loop_independent=False)
+        assert any(dep.kind == "RAW" for dep in deps)
+        assert loop_carries_dependence(loop)
+
+    def test_unanalyzable_subscript_is_conservative(self):
+        """An index computed through another array degrades to dependent."""
+        kb = KernelBuilder("gather")
+        kb.add_inout("A", (8,))
+        kb.add_input("B", (8,))
+        with kb.loop("i", 8) as i:
+            # A data-dependent-looking pattern: stores at i, reads at a
+            # different loop-invariant-free expression the engine cannot
+            # relate exactly (i * 3 mod-like wraparound is out of scope, so
+            # use a mismatched-coefficient pair instead).
+            kb.store("A", [i * 3], kb.load("A", [i]) + 1.0)
+        loop = _loops(kb.finish())[0]
+        # 3i = i' has solutions inside trip 8 (i=1,i'=3 ...): must depend.
+        assert loop_carries_dependence(loop)
+
+
+# ---------------------------------------------------------------------------
+# Agreement with the hida-side parallelism query
+# ---------------------------------------------------------------------------
+
+
+class TestDeclaredParallel:
+    def test_attribute_resolves_conservative_dependence(self):
+        """A declared-parallel loop clears deps the engine cannot refute."""
+        kb = KernelBuilder("gather")
+        kb.add_inout("A", (24,))
+        with kb.loop("i", 8) as i:
+            kb.store("A", [i * 3], kb.load("A", [i]) + 1.0)
+        loop = _loops(kb.finish())[0]
+        assert loop_carries_dependence(loop)  # conservative by default
+        loop.set_attr("parallel", True)
+        assert not loop_carries_dependence(loop)
+
+    def test_attribute_cannot_override_an_exact_proof(self):
+        loop = _loops(recurrence_module(distance=1))[0]
+        loop.set_attr("parallel", True)
+        # The unit recurrence is proven, not assumed: the engine keeps it.
+        assert loop_carries_dependence(loop)
+
+
+class TestIsParallelLoop:
+    def test_agrees_with_engine_on_gemm(self):
+        loops = _loops(gemm_module())
+        verdicts = [is_parallel_loop(loop) for loop in loops]
+        assert verdicts == [True, True, False]
+        assert verdicts == [not loop_carries_dependence(l) for l in loops]
+
+    def test_explicit_parallel_attribute_wins(self):
+        loop = _loops(recurrence_module())[0]
+        assert not is_parallel_loop(loop)
+        loop.set_attr("parallel", True)
+        assert is_parallel_loop(loop)

@@ -114,3 +114,56 @@ def test_malformed_text_raises_parse_error(text):
 def test_parse_error_is_value_error():
     """Callers catching ValueError (the repo-wide idiom) still catch parses."""
     assert issubclass(IRParseError, ValueError)
+
+
+def test_unbalanced_region_reports_opening_line():
+    """A region that never closes points back at the op that opened it."""
+    text = 'func.func() {name = "f"} {\n%0 = arith.constant() {value = 1} : i32'
+    with pytest.raises(IRParseError) as excinfo:
+        parse_op(text)
+    error = excinfo.value
+    assert "unterminated region" in str(error)
+    assert error.line == 1
+
+
+def test_unknown_op_header_reports_line_and_column():
+    """A line that is not an op header diagnoses its position, not a crash."""
+    text = 'builtin.module() {\n%0 = !!bogus() : i32\n}'
+    with pytest.raises(IRParseError) as excinfo:
+        parse_op(text)
+    error = excinfo.value
+    assert error.line == 2
+    assert error.column == 5  # right after "%0 = "
+
+
+def test_bad_attribute_literal_reports_offsets():
+    """A malformed attribute value carries both line and column."""
+    text = (
+        'builtin.module() {\n'
+        '%0 = arith.constant() {value = 1..2} : i32\n'
+        '}'
+    )
+    with pytest.raises(IRParseError) as excinfo:
+        parse_op(text)
+    error = excinfo.value
+    assert error.line == 2
+    assert error.column is not None
+    # The offset indexes into the stripped line, inside the attr dict.
+    assert error.column > text.splitlines()[1].index("{")
+
+
+def test_error_line_counts_blank_lines():
+    """Line numbers index the original text, blank lines included."""
+    text = '\n\nbuiltin.module() {\n\n%0 = !!bogus() : i32\n}'
+    with pytest.raises(IRParseError) as excinfo:
+        parse_op(text)
+    assert excinfo.value.line == 5
+
+
+def test_trailing_content_reports_line():
+    text = 'builtin.module() {\n}\nbuiltin.module() {\n}'
+    with pytest.raises(IRParseError) as excinfo:
+        parse_op(text)
+    error = excinfo.value
+    assert "trailing content" in str(error)
+    assert error.line == 3

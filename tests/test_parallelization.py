@@ -257,6 +257,24 @@ class TestTable5And6:
                     if loop.name == "affine.for"
                 )
 
+    def test_reduction_loops_ordered_outward_before_pipelining(self):
+        # ScaleHLS-style loop-order optimization: whenever a band has a
+        # parallel level, the (pipelined) innermost level ends up
+        # dependence-free so the pipeline sustains II=1 instead of being
+        # recurrence-bound.  The interchange only happens when the
+        # dependence engine proves it legal.
+        from repro.hida.analysis import is_parallel_loop
+
+        result = compile_listing1()
+        checked = 0
+        for schedule in result.schedules:
+            for band in collect_band_infos(schedule):
+                flags = [is_parallel_loop(loop) for loop in band.band]
+                if any(flags):
+                    assert flags[-1]
+                    checked += 1
+        assert checked > 0
+
     def test_parallelization_result_is_reproducible(self):
         first = compile_listing1()
         second = compile_listing1()

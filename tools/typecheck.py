@@ -28,7 +28,12 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 BASELINE = ROOT / "tools" / "mypy_baseline.txt"
-TARGETS = ["src/repro/analysis", "src/repro/ir"]
+TARGETS = [
+    "src/repro/analysis",
+    "src/repro/ir",
+    "src/repro/hida/analysis.py",
+    "src/repro/transforms/array_partition.py",
+]
 
 # "path/file.py:123: error: message  [code]" -> "path/file.py: message  [code]"
 _LINE = re.compile(r"^(?P<path>[^:]+\.py):\d+(?::\d+)?: error: (?P<rest>.*)$")
