@@ -40,6 +40,27 @@ def test_compile_time_dnn_model(benchmark, model):
     assert result.compile_seconds < 120
 
 
+def test_compile_time_reference_interpreter(benchmark):
+    """Execute a compiled zoo kernel under the reference interpreter.
+
+    Translation validation runs the interpreter once per stage boundary, so
+    its wall-clock cost on an interpreter-sized kernel bounds the overhead
+    of ``--validate`` and the exec-verify pass of the IR snapshot cache.
+    Tracked by the perf-trend gate alongside the compile-time numbers.
+    """
+    from repro.ir.interp import interpret_module
+    from repro.workloads import as_module, get_workload
+
+    module = as_module(get_workload("2mm").at(n=8))
+
+    def run():
+        return interpret_module(module)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.ops_executed > 0
+    assert result.oob_reads == result.oob_writes == 0
+
+
 def test_print_and_fingerprint_largest_model(benchmark):
     """Print + content-hash the largest zoo model (the IR-cache hot path).
 

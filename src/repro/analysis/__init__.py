@@ -13,6 +13,11 @@ and buffer-sizing lints.  Wired in at three layers:
 * the DSE pre-filter (:func:`repro.analysis.prefilter.check_point`)
   rejecting statically infeasible points before fan-out.
 
+:mod:`repro.analysis.tv` adds executable ground truth on top: per-stage
+translation validation against the reference interpreter (the ``validate``
+compiler stage, ``python -m repro.analysis.tv`` sweeps and the legality
+fuzzer), so "legal" verdicts are executed, not argued.
+
 Soundness is differential: a ``deadlock`` finding is derived by running
 :func:`~repro.estimation.dataflow_sim.simulate_dataflow` over the flagged
 cycle, so every flagged design provably stalls in the simulator and clean
@@ -44,6 +49,15 @@ from .legality import (
     partition_bank_conflicts,
 )
 from .prefilter import check_point, filter_points
+from .tv import (
+    FuzzReport,
+    StageValidation,
+    TranslationValidationError,
+    ValidationReport,
+    fuzz_transforms,
+    semantic_fingerprint,
+    validate_pipeline,
+)
 from .recurrence import band_rec_mii, dependence_chain_latency, pipeline_rec_mii
 from .rules import (
     SEVERITIES,
@@ -70,10 +84,14 @@ __all__ = [
     "BankConflict",
     "Dependence",
     "DistanceElement",
+    "FuzzReport",
     "LegalityResult",
     "ScheduleContext",
     "SourceLocation",
+    "StageValidation",
     "TransformLegalityError",
+    "TranslationValidationError",
+    "ValidationReport",
     "analyze_module",
     "available_rules",
     "band_dependences",
@@ -82,6 +100,7 @@ __all__ = [
     "default_rules",
     "dependence_chain_latency",
     "filter_points",
+    "fuzz_transforms",
     "is_suppressed",
     "legal_permutation",
     "legal_pipeline_ii",
@@ -94,5 +113,7 @@ __all__ = [
     "pipeline_rec_mii",
     "register_rule",
     "rule_registry",
+    "semantic_fingerprint",
     "severity_rank",
+    "validate_pipeline",
 ]

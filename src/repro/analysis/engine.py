@@ -15,7 +15,7 @@ and the measurement oracle can never disagree about structure.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from ..dialects.dataflow import ScheduleOp
 from ..estimation.dataflow_sim import build_channels, channel_cycles
@@ -182,6 +182,10 @@ class AnalysisReport:
     diagnostics: List[AnalysisDiagnostic] = dataclasses.field(default_factory=list)
     #: Findings dropped by ``lint_suppress`` attributes.
     suppressed: int = 0
+    #: Repeated findings collapsed into an earlier one (same rule on the
+    #: same op with the same structured data, e.g. one race reported once
+    #: per unordered access pair).  First location wins.
+    deduplicated: int = 0
     #: Number of structural schedules analyzed (0 = nothing to check).
     schedules: int = 0
 
@@ -212,6 +216,7 @@ class AnalysisReport:
         return {
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "suppressed": self.suppressed,
+            "deduplicated": self.deduplicated,
             "schedules": self.schedules,
             "counts": self.counts(),
         }
@@ -219,6 +224,7 @@ class AnalysisReport:
     def extend(self, other: "AnalysisReport") -> "AnalysisReport":
         self.diagnostics.extend(other.diagnostics)
         self.suppressed += other.suppressed
+        self.deduplicated += other.deduplicated
         self.schedules += other.schedules
         return self
 
@@ -248,6 +254,7 @@ def analyze_module(
     resolved = _resolve_platform(platform)
     _, locations = locate_ops(module)
     report = AnalysisReport()
+    seen_findings: Set[Tuple[object, ...]] = set()
     for op in module.walk():
         if not isinstance(op, ScheduleOp):
             continue
@@ -259,5 +266,22 @@ def analyze_module(
                 if anchor is not None and is_suppressed(diagnostic.rule, anchor):
                     report.suppressed += 1
                     continue
+                # A rule firing on the same op with the same structured
+                # data (e.g. once per unordered access *pair*) collapses
+                # into the first finding; distinct subjects (different
+                # buffer, dim, kind, ...) keep their own diagnostics.
+                # Emission order is preserved, so first location wins.
+                data_key = tuple(
+                    sorted((k, repr(v)) for k, v in diagnostic.data.items())
+                )
+                key = (
+                    (diagnostic.rule, id(anchor), data_key)
+                    if anchor is not None
+                    else (diagnostic.rule, diagnostic.schedule, diagnostic.message)
+                )
+                if key in seen_findings:
+                    report.deduplicated += 1
+                    continue
+                seen_findings.add(key)
                 report.diagnostics.append(diagnostic)
     return report

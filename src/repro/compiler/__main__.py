@@ -125,6 +125,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "this severity (default: never)",
     )
     parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="translation-validate every stage boundary against the "
+        "reference interpreter; a behavioral mismatch exits with status 5",
+    )
+    parser.add_argument(
+        "--validate-tolerance",
+        type=float,
+        default=0.0,
+        metavar="REL",
+        help="with --validate, relative float tolerance for reassociating "
+        "transforms (default: 0 = bitwise)",
+    )
+    parser.add_argument(
         "--timings", action="store_true", help="print per-stage wall-clock timings"
     )
     parser.add_argument(
@@ -235,7 +249,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--ir-cache-dir requires --ir-cache")
     if args.lint_fail_on != "never" and not args.lint:
         parser.error("--lint-fail-on requires --lint")
+    if args.validate_tolerance and not args.validate:
+        parser.error("--validate-tolerance requires --validate")
     spec_text = args.spec
+    if args.validate:
+        from ..analysis.tv import interleave_validate
+
+        spec_text = interleave_validate(
+            spec_text, tolerance=args.validate_tolerance
+        )
     if args.lint:
         lint_stage = "lint"
         if args.lint_fail_on != "never":
@@ -274,6 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"platform: {platform_name}   spec-hash: {compiler.spec_hash()}")
 
     from ..analysis import AnalysisError
+    from ..analysis.tv import TranslationValidationError
     from ..ir.verifier import VerificationError
 
     try:
@@ -291,6 +314,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {diagnostic}", file=sys.stderr)
         print(f"error: {error}", file=sys.stderr)
         return 4
+    except TranslationValidationError as error:
+        for diagnostic in diagnostics.diagnostics:
+            print(f"  {diagnostic}", file=sys.stderr)
+        print(f"error: {error}", file=sys.stderr)
+        return 5
 
     if args.cache_stats:
         stats = compiler.ir_cache_stats

@@ -28,9 +28,11 @@ extras a :class:`~repro.compiler.stages.CompilationState` accumulates
 through snapshot-safe stages (balance counters, misalignments).  Schedules
 are not serialized separately — they are re-collected by walking the parsed
 module, which the snapshot self-verifies at save time: every snapshot is
-parsed back, re-printed and byte-compared before it is stored, and anything
-that fails the round-trip is refused.  A cache can therefore never serve a
-state that differs from what the cold compile produced.
+parsed back, re-printed and byte-compared before it is stored, and — when
+the module fits the reference interpreter's op budget — *executed* against
+the live state (:mod:`repro.ir.interp`), refusing any snapshot whose
+behavior differs.  A cache can therefore never serve a state that differs
+from what the cold compile produced.
 
 Storage reuses the :class:`~repro.dse.cache.QoRCache` store: two-level
 fan-out of JSON files under ``~/.cache/repro/ir`` (override with
@@ -67,6 +69,11 @@ __all__ = [
 #: Snapshot schema version: bump when the payload layout, the printed IR
 #: grammar, or the semantics of any snapshot-safe stage change.
 SCHEMA_VERSION = 1
+
+#: Interpreter op budget for the execute-and-compare snapshot check.
+#: Kept small: store() runs on the compile hot path, so large modules skip
+#: the executed check (the print->parse->print round-trip still gates them).
+_EXEC_VERIFY_MAX_OPS = 250_000
 
 
 def default_ir_cache_dir() -> Path:
@@ -125,6 +132,12 @@ class IRSnapshotCache:
         #: Snapshots refused because the print->parse->print round-trip or
         #: the schedule re-collection failed self-verification.
         self.verify_failures = 0
+        #: Snapshots whose parsed form also *executed* identically to the
+        #: live state (reference-interpreter compare at store time).
+        self.exec_verified = 0
+        #: Snapshots stored without the executed check (module exceeded the
+        #: interpreter budget or uses ops it cannot execute).
+        self.exec_skipped = 0
 
     @property
     def root(self) -> Path:
@@ -193,6 +206,24 @@ class IRSnapshotCache:
         except IRParseError:
             self.verify_failures += 1
             return False
+        # Executed self-check: the parsed snapshot must behave identically
+        # to the live state under the reference interpreter.  A textual
+        # round-trip can be byte-clean and still lose behavior if printer
+        # and parser share a blind spot; execution has no such blind spot.
+        from ..ir import interp
+
+        try:
+            live = interp.interpret_module(
+                state.module, max_ops=_EXEC_VERIFY_MAX_OPS
+            )
+            warm = interp.interpret_module(clone, max_ops=_EXEC_VERIFY_MAX_OPS)
+        except interp.InterpreterError:
+            self.exec_skipped += 1
+        else:
+            if interp.diff_results(live, warm):
+                self.verify_failures += 1
+                return False
+            self.exec_verified += 1
         payload = {
             "ir": text,
             "hints": hints,

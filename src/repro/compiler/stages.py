@@ -93,6 +93,10 @@ class CompilationState:
     misalignments: int = 0
     estimate: Optional[DesignEstimate] = None
     diagnostics: List[Diagnostic] = dataclasses.field(default_factory=list)
+    #: Rolling translation-validation reference (set by the ``validate``
+    #: stage; see :mod:`repro.analysis.tv`).  Not serialized into IR
+    #: snapshots — a warm resume simply re-baselines at its first boundary.
+    tv_baseline: Optional[object] = None
     #: Observer fan-out installed by the driver; stages call :meth:`emit`.
     _sink: Optional[Callable[[Diagnostic], None]] = None
 
@@ -607,6 +611,47 @@ class LintStage(CompilationStage):
                 f"{len(report.diagnostics)} finding(s) ({counts}); "
                 f"first: {report.diagnostics[0]}"
             )
+
+
+@register_stage
+class ValidateStage(CompilationStage):
+    """Translation validation of the preceding stage boundary.
+
+    Executes the module through the reference interpreter
+    (:mod:`repro.ir.interp`) and proves it equivalent to the previous
+    ``validate`` boundary — statically when the semantic fingerprint is
+    unchanged, bitwise (or within ``tolerance``) otherwise.  The first
+    instance in a pipeline records the reference; a behavioral mismatch
+    raises :class:`~repro.analysis.tv.TranslationValidationError`.
+
+    ``python -m repro.compiler --validate`` interleaves this stage after
+    every other stage automatically.
+    """
+
+    name = "validate"
+    timing_key = "validate"
+    snapshot_safe = True
+    option_decls = (
+        StageOption("seed", int, 0, "reference-input seed"),
+        StageOption(
+            "max-ops", int, 0, "interpreter op budget (0 = the default budget)"
+        ),
+        StageOption(
+            "tolerance",
+            str,
+            "0",
+            "relative float tolerance for reassociating transforms "
+            "(0 = bitwise)",
+        ),
+        StageOption(
+            "after", str, "", "label of the stage boundary being validated"
+        ),
+    )
+
+    def run(self, state: CompilationState) -> None:
+        from ..analysis.tv import run_validate_stage
+
+        run_validate_stage(self, state)
 
 
 def build_stages(spec) -> List[CompilationStage]:

@@ -216,6 +216,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "and land in the result's 'rejected' list",
     )
     parser.add_argument(
+        "--validate-frontier",
+        action="store_true",
+        help="translation-validate every Pareto-frontier design point "
+        "(execute its pipeline under the reference interpreter stage by "
+        "stage) before reporting; failures land in the result's "
+        "'validation_failures' list and fail the run",
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help="stream already-cached points into the result and skip the "
@@ -419,6 +427,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ir_cache=args.ir_cache,
         ir_cache_dir=args.ir_cache_dir,
         prefilter=args.prefilter,
+        validate_frontier=args.validate_frontier,
     )
 
     if result.strategy:
@@ -464,6 +473,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.prefilter
             else ""
         )
+        + (
+            f"; frontier validated: "
+            f"{len(result.validation_failures)} failure(s)"
+            if args.validate_frontier
+            else ""
+        )
     )
     if args.prefilter and result.rejected:
         for record in result.rejected[:5]:
@@ -475,13 +490,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         for record in result.errors[:3]:
             first_line = str(record["error"]).strip().splitlines()[-1]
             print(f"  error at {record.get('label', '?')}: {first_line}")
+    if result.validation_failures:
+        for record in result.validation_failures[:5]:
+            print(
+                f"  semantic mismatch at {record.get('label', '?')}: "
+                f"{record.get('error')}"
+            )
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())
         print(f"wrote {args.json}")
 
-    return 0 if not result.errors and result.frontier else 1
+    return (
+        0
+        if not result.errors
+        and not result.validation_failures
+        and result.frontier
+        else 1
+    )
 
 
 if __name__ == "__main__":

@@ -35,7 +35,7 @@ import sys
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..compiler.ircache import (
     IRSnapshotCache,
@@ -479,6 +479,7 @@ def explore(
     ir_cache: bool = False,
     ir_cache_dir: Optional[str] = None,
     prefilter: bool = False,
+    validate_frontier: bool = False,
 ) -> ExplorationResult:
     """Evaluate ``space`` (fully or via a search strategy) and extract the
     Pareto frontier.
@@ -547,6 +548,14 @@ def explore(
     points never consume ``budget`` (adaptive searches draw candidates
     from the filtered pool), and the records of feasible points are
     byte-identical to a run without the filter.
+
+    ``validate_frontier`` translation-validates every frontier member
+    before it is reported: the point's full pipeline re-runs with the
+    reference interpreter checking each stage boundary
+    (:mod:`repro.analysis.tv`).  Validated records gain a ``validation``
+    summary; points whose pipeline changed program behavior are dropped
+    from the frontier into ``ExplorationResult.validation_failures`` —
+    a promoted Pareto point is never reported on miscompiled IR.
     """
     points: List[DesignPoint] = []
     seen_keys = set()
@@ -843,6 +852,9 @@ def explore(
     # enter the frontier with their simulator-fidelity QoR.
     scored = [r for r in best_fidelity_records(records) if "error" not in r]
     frontier = _grouped_frontier(scored, objectives, group_by_workload)
+    validation_failures: List[Dict] = []
+    if validate_frontier:
+        frontier, validation_failures = _validate_frontier(frontier, points)
     return ExplorationResult(
         records=records,
         frontier=frontier,
@@ -862,4 +874,46 @@ def explore(
         prefix_hits=ir_totals.get("prefix_hits", 0),
         stages_skipped=ir_totals.get("stages_skipped", 0),
         rejected=rejected,
+        validation_failures=validation_failures,
     )
+
+
+def _validate_frontier(
+    frontier: List[Dict], points: Sequence[DesignPoint]
+) -> Tuple[List[Dict], List[Dict]]:
+    """Semantics-check every frontier record's pipeline before reporting.
+
+    Returns ``(kept frontier, failure records)``.  Records whose design
+    point cannot be resolved (e.g. streamed in from a foreign cache) pass
+    through unvalidated rather than being silently dropped.
+    """
+    from ..analysis.tv import validate_point
+
+    by_key = {point.key(): point for point in points}
+    kept: List[Dict] = []
+    failures: List[Dict] = []
+    for record in frontier:
+        point = by_key.get(str(record.get("point_key", "")))
+        if point is None:
+            kept.append(record)
+            continue
+        report = validate_point(point)
+        record["validation"] = {
+            "ok": report.ok,
+            "outcomes": report.outcomes(),
+        }
+        if report.ok:
+            kept.append(record)
+            continue
+        failures.append(
+            {
+                "point_key": record.get("point_key"),
+                "label": record.get("label"),
+                "workload": record.get("workload"),
+                "error": report.error,
+                "mismatches": [
+                    check.to_dict() for check in report.mismatches
+                ],
+            }
+        )
+    return kept, failures

@@ -132,6 +132,11 @@ class ExplorationResult:
     #: record per point: reason, detail, rule counts; see
     #: :mod:`repro.analysis.prefilter`).  Rejections never consume budget.
     rejected: List[Dict] = dataclasses.field(default_factory=list)
+    #: Frontier members dropped by ``explore(validate_frontier=True)``:
+    #: their pipeline changed program behavior under the reference
+    #: interpreter (one record per point: label, error, mismatching
+    #: stage checks; see :mod:`repro.analysis.tv`).
+    validation_failures: List[Dict] = dataclasses.field(default_factory=list)
 
     @property
     def num_points(self) -> int:
@@ -355,6 +360,7 @@ class ExplorationResult:
             "prefix_hits": float(self.prefix_hits),
             "stages_skipped": float(self.stages_skipped),
             "rejected": float(len(self.rejected)),
+            "validation_failures": float(len(self.validation_failures)),
         }
 
     # ---------------------------------------------------------- serialization
@@ -378,6 +384,7 @@ class ExplorationResult:
             "prefix_hits": self.prefix_hits,
             "stages_skipped": self.stages_skipped,
             "rejected": self.rejected,
+            "validation_failures": self.validation_failures,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -404,4 +411,5 @@ class ExplorationResult:
             prefix_hits=int(data.get("prefix_hits", 0)),
             stages_skipped=int(data.get("stages_skipped", 0)),
             rejected=list(data.get("rejected", [])),
+            validation_failures=list(data.get("validation_failures", [])),
         )

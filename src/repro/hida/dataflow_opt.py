@@ -120,20 +120,38 @@ def eliminate_multiple_producers(schedule: ScheduleOp) -> int:
             eliminated += 1
 
     # Case (2): external buffers -> merge all producers into a single node.
+    # The merge must take the full program-order *span* — the producers plus
+    # every node between them — or interleaved consumers are reordered: in a
+    # time-stepped stencil (A->B, B->A, A->B, B->A) merging just the
+    # producers of A would execute both B-writing steps before the first
+    # A-writing step, reading stale data.  (Caught by translation
+    # validation: see the README's worked example.)
     for buffer in _external_buffer_values(schedule):
         producers = get_producers(buffer)
         if len(producers) <= 1:
             continue
-        _merge_nodes(schedule, producers)
+        block = schedule.body
+        first = min(block.index_of(node) for node in producers)
+        last = max(block.index_of(node) for node in producers)
+        span = [
+            node
+            for node in schedule.nodes
+            if first <= block.index_of(node) <= last
+        ]
+        _merge_nodes(schedule, span)
         eliminated += 1
     return eliminated
 
 
 def _merge_nodes(schedule: ScheduleOp, nodes: Sequence[NodeOp]) -> NodeOp:
-    """Fuse several nodes into one, executing them sequentially."""
+    """Fuse several nodes into one, executing them sequentially.
+
+    The merged node is inserted at the *last* member's position so every
+    buffer/stream declared between the members still dominates its use.
+    """
     block = schedule.body
     nodes = sorted(nodes, key=block.index_of)
-    first = nodes[0]
+    last = nodes[-1]
     # Build the merged operand list with merged effects.
     merged_values: List[Value] = []
     merged_effects: List[str] = []
@@ -168,7 +186,7 @@ def _merge_nodes(schedule: ScheduleOp, nodes: Sequence[NodeOp]) -> NodeOp:
         params=params,
         label="+".join(n.label or "node" for n in nodes),
     )
-    block.insert(block.index_of(first), merged)
+    block.insert(block.index_of(last), merged)
 
     for node in nodes:
         # Move the node's body ops into the merged node, rewiring its block

@@ -14,13 +14,17 @@ regions::
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Iterator, Optional, Sequence
+from typing import Any, Iterator, Optional, Sequence, TypeVar
 
 from .builtin import ConstantOp
 from .core import Block, Operation, Value
 from .types import IndexType, Type
 
 __all__ = ["InsertionPoint", "Builder"]
+
+#: Inserting preserves the concrete op class, so callers keep access to
+#: op-specific accessors (``loop.body``, ``apply.result()``, ...).
+_OpT = TypeVar("_OpT", bound=Operation)
 
 
 class InsertionPoint:
@@ -52,7 +56,7 @@ class InsertionPoint:
             raise ValueError("operation has no parent block")
         return cls(block, block.index_of(op) + 1)
 
-    def insert(self, op: Operation) -> Operation:
+    def insert(self, op: _OpT) -> _OpT:
         self.block.insert(self.index, op)
         self.index += 1
         return op
@@ -106,7 +110,7 @@ class Builder:
         return self.at(InsertionPoint.at_start(block))
 
     # --------------------------------------------------------------- insert
-    def insert(self, op: Operation) -> Operation:
+    def insert(self, op: _OpT) -> _OpT:
         if self._ip is None:
             raise ValueError("builder has no insertion point")
         return self._ip.insert(op)

@@ -1,0 +1,945 @@
+"""A deterministic reference interpreter for the IR dialects.
+
+This is the executable ground truth behind translation validation
+(:mod:`repro.analysis.tv`): it runs a module's top function over seeded,
+workload-derived input tensors and returns every observable output, so two
+module versions can be compared bitwise.
+
+Semantics, in one place:
+
+* **Inputs** — every memref argument of the top function is filled with
+  :func:`seed_value`, a deterministic *small integer* derived from the
+  argument position and the flat element index.  Small integers keep f64
+  arithmetic exact (no rounding below 2**53), so even transforms that
+  reorder additions stay bitwise identical on kernels without division;
+  only genuinely non-integer math (``divf``/``sqrt``/``exp``) needs the
+  documented float tolerance.
+* **Allocations** — ``memref.alloc`` and ``hida.buffer`` results are
+  zero-initialized (several kernels accumulate without an explicit fill).
+  ``memref.get_global`` is seeded from a stable hash of its symbol.
+* **Out-of-bounds** — reads return 0 and writes are dropped, both counted
+  in the result.  This keeps the interpreter total and deterministic; a
+  transform that changes which addresses go out of bounds changes the
+  counters and (almost always) the outputs.
+* **Dataflow** — ``hida.dispatch``/``hida.task`` are transparent regions;
+  ``hida.schedule``/``hida.node`` are isolated and bind their operands to
+  block arguments (memory is shared by reference, so node writes are
+  visible to later nodes).  Nodes execute in program order, which is a
+  topological order of the single-producer dataflow graph.  Streams are
+  FIFOs; reading an empty stream yields 0 and counts an underflow.
+* **linalg** — a module still carrying linalg ops is cloned and lowered
+  through :func:`~repro.transforms.linalg_to_affine.lower_linalg_to_affine`
+  first; the interpreter executes the affine form (the linalg ops' defined
+  semantics).
+* **Budget** — interpretation refuses modules whose statically estimated
+  cost (:func:`estimate_cost`) exceeds ``max_ops``, and aborts if the
+  dynamic op count overruns the estimate's safety margin; both raise
+  :class:`InterpreterBudgetError` so callers can report an honest
+  "skipped" instead of a silently vacuous "validated".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import deque
+from fractions import Fraction
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    cast,
+)
+
+from ..dialects.affine import (
+    AffineApplyOp,
+    AffineForOp,
+    AffineIfOp,
+    AffineLoadOp,
+    AffineStoreOp,
+    AffineYieldOp,
+)
+from ..dialects.arith import (
+    AddFOp,
+    AddIOp,
+    CastOp,
+    CmpOp,
+    DivFOp,
+    DivIOp,
+    ExpOp,
+    MACOp,
+    MaxFOp,
+    MaxIOp,
+    MinFOp,
+    MinIOp,
+    MulFOp,
+    MulIOp,
+    NegFOp,
+    SelectOp,
+    SqrtOp,
+    SubFOp,
+    SubIOp,
+)
+from ..dialects.dataflow import (
+    BufferOp,
+    DispatchOp,
+    NodeOp,
+    ScheduleOp,
+    StreamOp,
+    StreamReadOp,
+    StreamWriteOp,
+    TaskOp,
+    YieldOp as HidaYieldOp,
+)
+from ..dialects.memref import (
+    AllocOp,
+    CopyOp,
+    DeallocOp,
+    GetGlobalOp,
+    LoadOp,
+    StoreOp,
+    SubViewOp,
+)
+from ..dialects.scf import (
+    ForOp as ScfForOp,
+    IfOp as ScfIfOp,
+    WhileOp as ScfWhileOp,
+    YieldOp as ScfYieldOp,
+)
+from .builtin import ConstantOp, FuncOp, ModuleOp, ReturnOp, UnrealizedCastOp
+from .core import Block, Operation, Value
+from .types import FloatType, IndexType, IntegerType, MemRefType, StreamType
+
+__all__ = [
+    "DEFAULT_MAX_OPS",
+    "ExecutionResult",
+    "InterpreterBudgetError",
+    "InterpreterError",
+    "UnsupportedOpError",
+    "diff_results",
+    "estimate_cost",
+    "interpret_module",
+    "seed_value",
+]
+
+#: Default static interpretation budget (estimated op executions).  The
+#: kernel zoo at its default problem sizes fits comfortably; DNN models do
+#: not and are honestly reported as skipped by the validation layer.
+DEFAULT_MAX_OPS = 2_000_000
+
+#: The dynamic op counter may exceed the static estimate by this factor
+#: before interpretation aborts (the estimate is approximate for scf loops
+#: with non-constant bounds).
+_DYNAMIC_SLACK = 4
+
+#: Assumed trip count for scf loops whose bounds are not constants.
+_UNKNOWN_TRIP = 64
+
+
+class InterpreterError(RuntimeError):
+    """Interpretation failed (malformed IR, unsupported construct, ...)."""
+
+
+class UnsupportedOpError(InterpreterError):
+    """The module contains an op the interpreter has no semantics for."""
+
+
+class InterpreterBudgetError(InterpreterError):
+    """The module's estimated or actual cost exceeds the op budget."""
+
+    def __init__(self, message: str, cost: int = 0, max_ops: int = 0) -> None:
+        super().__init__(message)
+        self.cost = cost
+        self.max_ops = max_ops
+
+
+def seed_value(slot: int, index: int, seed: int = 0) -> int:
+    """Deterministic small-integer tensor element.
+
+    Values stay in ``1..11`` so floating-point accumulation over them is
+    exact: sums and products of small integers round-trip through f64
+    without rounding, making legal-but-reordering transforms bitwise
+    identical (the documented tolerance is only for non-integer math).
+    """
+    return (slot * 7 + index * 3 + seed * 5) % 11 + 1
+
+
+def _symbol_slot(symbol: str) -> int:
+    """Stable per-symbol seeding slot (independent of hash randomization)."""
+    return sum((i + 1) * ord(c) for i, c in enumerate(symbol)) % 997 + 100
+
+
+# ---------------------------------------------------------------------------
+# Memory model
+# ---------------------------------------------------------------------------
+
+
+def _zero_of(element_type) -> Union[int, float]:
+    return 0.0 if isinstance(element_type, FloatType) else 0
+
+
+def _row_major_strides(shape: Sequence[int]) -> Tuple[int, ...]:
+    strides = [1] * len(shape)
+    for d in range(len(shape) - 2, -1, -1):
+        strides[d] = strides[d + 1] * shape[d + 1]
+    return tuple(strides)
+
+
+class MemoryRef:
+    """A (possibly strided) view over flat storage cells."""
+
+    __slots__ = ("cells", "shape", "strides", "offset")
+
+    def __init__(
+        self,
+        cells: List[Union[int, float]],
+        shape: Sequence[int],
+        strides: Optional[Sequence[int]] = None,
+        offset: int = 0,
+    ) -> None:
+        self.cells = cells
+        self.shape = tuple(int(s) for s in shape)
+        self.strides = (
+            tuple(strides) if strides is not None else _row_major_strides(self.shape)
+        )
+        self.offset = offset
+
+    @classmethod
+    def allocate(
+        cls, memref_type: MemRefType, fill: Callable[[int], Union[int, float]]
+    ) -> "MemoryRef":
+        count = memref_type.num_elements
+        if isinstance(memref_type.element_type, FloatType):
+            cells: List[Union[int, float]] = [float(fill(i)) for i in range(count)]
+        else:
+            cells = [int(fill(i)) for i in range(count)]
+        return cls(cells, memref_type.shape)
+
+    @property
+    def num_elements(self) -> int:
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count
+
+    def _address(self, indices: Sequence[int]) -> Optional[int]:
+        if len(indices) != len(self.shape):
+            # Rank-mismatched accesses (e.g. scalar access to rank-1 view)
+            # are tolerated by flattening when possible.
+            if not self.shape and not indices:
+                return self.offset
+            return None
+        address = self.offset
+        for index, extent, stride in zip(indices, self.shape, self.strides):
+            if index < 0 or index >= extent:
+                return None
+            address += index * stride
+        return address
+
+    def load(self, indices: Sequence[int]) -> Optional[Union[int, float]]:
+        address = self._address(indices)
+        if address is None or not 0 <= address < len(self.cells):
+            return None
+        return self.cells[address]
+
+    def store(self, indices: Sequence[int], value: Union[int, float]) -> bool:
+        address = self._address(indices)
+        if address is None or not 0 <= address < len(self.cells):
+            return False
+        self.cells[address] = value
+        return True
+
+    def logical_cells(self) -> Tuple[Union[int, float], ...]:
+        """The view's elements in row-major logical order."""
+        if not self.shape:
+            return (self.cells[self.offset],)
+        if (
+            self.offset == 0
+            and self.strides == _row_major_strides(self.shape)
+            and self.num_elements == len(self.cells)
+        ):
+            return tuple(self.cells)
+        out: List[Union[int, float]] = []
+        indices = [0] * len(self.shape)
+        for _ in range(self.num_elements):
+            value = self.load(indices)
+            out.append(0 if value is None else value)
+            for d in range(len(self.shape) - 1, -1, -1):
+                indices[d] += 1
+                if indices[d] < self.shape[d]:
+                    break
+                indices[d] = 0
+        return tuple(out)
+
+    def copy_from(self, source: "MemoryRef") -> None:
+        """Element-wise copy (logical order, overlapping prefix)."""
+        src = source.logical_cells()
+        dst_count = self.num_elements
+        if not self.shape:
+            self.cells[self.offset] = src[0]
+            return
+        indices = [0] * len(self.shape)
+        for flat in range(min(dst_count, len(src))):
+            self.store(indices, src[flat])
+            for d in range(len(self.shape) - 1, -1, -1):
+                indices[d] += 1
+                if indices[d] < self.shape[d]:
+                    break
+                indices[d] = 0
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionResult:
+    """Observable behaviour of one module execution.
+
+    ``outputs`` holds the final contents of every memref argument of the
+    executed function, keyed by argument position (``arg0``, ``arg1``, ...)
+    so the key survives renaming across pipeline stages.
+    """
+
+    outputs: Tuple[Tuple[str, Tuple[Union[int, float], ...]], ...]
+    returned: Tuple[object, ...] = ()
+    ops_executed: int = 0
+    oob_reads: int = 0
+    oob_writes: int = 0
+    stream_underflows: int = 0
+
+    @property
+    def output_map(self) -> Dict[str, Tuple[Union[int, float], ...]]:
+        return dict(self.outputs)
+
+
+def diff_results(
+    before: ExecutionResult, after: ExecutionResult, tolerance: float = 0.0
+) -> List[str]:
+    """Human-readable mismatches between two executions (empty = equal).
+
+    ``tolerance`` is a *relative* bound applied per element when non-zero;
+    ``0.0`` (the default) demands bitwise equality.
+    """
+
+    def close(a, b) -> bool:
+        if a == b:
+            return True
+        if tolerance <= 0.0:
+            return False
+        try:
+            return abs(a - b) <= tolerance * max(1.0, abs(a), abs(b))
+        except TypeError:
+            return False
+
+    mismatches: List[str] = []
+    before_map, after_map = before.output_map, after.output_map
+    for name in sorted(set(before_map) | set(after_map)):
+        left, right = before_map.get(name), after_map.get(name)
+        if left is None or right is None:
+            mismatches.append(f"{name}: present on one side only")
+            continue
+        if len(left) != len(right):
+            mismatches.append(
+                f"{name}: {len(left)} element(s) vs {len(right)}"
+            )
+            continue
+        for index, (a, b) in enumerate(zip(left, right)):
+            if not close(a, b):
+                mismatches.append(f"{name}[{index}]: {a!r} != {b!r}")
+                break  # first differing element per buffer is enough
+    if len(before.returned) != len(after.returned):
+        mismatches.append(
+            f"returned {len(before.returned)} value(s) vs {len(after.returned)}"
+        )
+    else:
+        for index, (a, b) in enumerate(zip(before.returned, after.returned)):
+            if not close(a, b):
+                mismatches.append(f"returned[{index}]: {a!r} != {b!r}")
+    return mismatches
+
+
+# ---------------------------------------------------------------------------
+# Static cost estimation
+# ---------------------------------------------------------------------------
+
+
+def _constant_int(value: Value) -> Optional[int]:
+    owner = value.defining_op
+    if isinstance(owner, ConstantOp):
+        try:
+            return int(owner.value)
+        except (TypeError, ValueError):
+            return None
+    return None
+
+
+def estimate_cost(op: Operation) -> int:
+    """Estimated op executions of interpreting ``op`` (loops multiplied out).
+
+    Approximate by construction — scf loops with non-constant bounds are
+    assumed to run :data:`_UNKNOWN_TRIP` iterations and linalg ops are
+    charged through their MAC/element counts — but cheap (one IR walk) and
+    good enough to refuse model-scale modules before touching them.
+    """
+    if isinstance(op, AffineForOp):
+        return 2 + max(op.trip_count, 0) * _block_cost(op.body)
+    if isinstance(op, ScfForOp):
+        lb = _constant_int(op.operand(0))
+        ub = _constant_int(op.operand(1))
+        step = _constant_int(op.operand(2))
+        if lb is not None and ub is not None and step:
+            trips = max(0, -(-(ub - lb) // step)) if step > 0 else _UNKNOWN_TRIP
+        else:
+            trips = _UNKNOWN_TRIP
+        return 2 + trips * sum(_block_cost(b) for r in op.regions for b in r.blocks)
+    if isinstance(op, ScfWhileOp):
+        body = sum(_block_cost(b) for r in op.regions for b in r.blocks)
+        return 2 + _UNKNOWN_TRIP * body
+    from ..dialects.linalg import LinalgOp  # local: keep the ir layer light
+
+    if isinstance(op, LinalgOp):
+        cost = 0
+        for result in op.results:
+            if isinstance(result.type, MemRefType):
+                cost += result.type.num_elements
+        try:
+            cost = max(cost, int(op.macs()))
+        except (AttributeError, TypeError, NotImplementedError):
+            pass
+        return 4 * max(cost, 1)
+    if isinstance(op, CopyOp):
+        source_type = op.source.type
+        elements = (
+            source_type.num_elements if isinstance(source_type, MemRefType) else 1
+        )
+        return 1 + elements
+    cost = 1
+    for region in op.regions:
+        for block in region.blocks:
+            cost += _block_cost(block)
+    return cost
+
+
+def _block_cost(block: Block) -> int:
+    return sum(estimate_cost(op) for op in block.operations)
+
+
+# ---------------------------------------------------------------------------
+# The interpreter
+# ---------------------------------------------------------------------------
+
+_BINARY_FLOAT: Dict[type, Callable[[Any, Any], Any]] = {
+    AddFOp: lambda a, b: a + b,
+    SubFOp: lambda a, b: a - b,
+    MulFOp: lambda a, b: a * b,
+    MaxFOp: max,
+    MinFOp: min,
+    AddIOp: lambda a, b: a + b,
+    SubIOp: lambda a, b: a - b,
+    MulIOp: lambda a, b: a * b,
+    MaxIOp: max,
+    MinIOp: min,
+}
+
+_CMP_PREDICATES: Dict[str, Callable[[Any, Any], Any]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+def _trunc_div(a: int, b: int) -> int:
+    if b == 0:
+        raise InterpreterError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a < 0) == (b < 0) else -q
+
+
+class _Interpreter:
+    def __init__(self, seed: int, max_ops: int) -> None:
+        self.seed = seed
+        self.max_ops = max_ops
+        self.ops_executed = 0
+        self.oob_reads = 0
+        self.oob_writes = 0
+        self.stream_underflows = 0
+        self.globals: Dict[str, MemoryRef] = {}
+        self.returned: Tuple[object, ...] = ()
+
+    # ------------------------------------------------------------- entry
+    def run(self, func: FuncOp) -> ExecutionResult:
+        env: Dict[Value, Any] = {}
+        for slot, argument in enumerate(func.arguments):
+            env[argument] = self._seeded_argument(slot, argument.type)
+        self._exec_block(func.entry_block, env)
+        outputs: List[Tuple[str, Tuple[Union[int, float], ...]]] = []
+        for slot, argument in enumerate(func.arguments):
+            bound = env[argument]
+            if isinstance(bound, MemoryRef):
+                outputs.append((f"arg{slot}", bound.logical_cells()))
+        returned = tuple(
+            value.logical_cells() if isinstance(value, MemoryRef) else value
+            for value in self.returned
+        )
+        return ExecutionResult(
+            outputs=tuple(outputs),
+            returned=returned,
+            ops_executed=self.ops_executed,
+            oob_reads=self.oob_reads,
+            oob_writes=self.oob_writes,
+            stream_underflows=self.stream_underflows,
+        )
+
+    def _seeded_argument(self, slot: int, value_type) -> object:
+        if isinstance(value_type, MemRefType):
+            return MemoryRef.allocate(
+                value_type, lambda i: seed_value(slot, i, self.seed)
+            )
+        if isinstance(value_type, StreamType):
+            return deque()
+        if isinstance(value_type, FloatType):
+            return float(seed_value(slot, 0, self.seed))
+        return seed_value(slot, 0, self.seed)
+
+    # ------------------------------------------------------------ helpers
+    def _charge(self) -> None:
+        self.ops_executed += 1
+        if self.ops_executed > self.max_ops * _DYNAMIC_SLACK:
+            raise InterpreterBudgetError(
+                f"dynamic op count exceeded "
+                f"{self.max_ops * _DYNAMIC_SLACK} (budget {self.max_ops})",
+                cost=self.ops_executed,
+                max_ops=self.max_ops,
+            )
+
+    def _subscripts(
+        self, affine_map, operands: Sequence[Any]
+    ) -> Tuple[int, ...]:
+        dims = [int(v) for v in operands[: affine_map.num_dims]]
+        symbols = [int(v) for v in operands[affine_map.num_dims :]]
+        results = affine_map.evaluate(dims, symbols)
+        coerced = []
+        for value in results:
+            if isinstance(value, Fraction):
+                if value.denominator != 1:
+                    raise InterpreterError(
+                        f"non-integer subscript {value} from affine map"
+                    )
+                value = value.numerator
+            coerced.append(int(value))
+        return tuple(coerced)
+
+    def _zero_for(self, value: Value) -> Union[int, float]:
+        value_type = value.type
+        if isinstance(value_type, MemRefType):
+            return _zero_of(value_type.element_type)
+        return _zero_of(value_type)
+
+    def _run_body(self, block: Block, env: Dict[Value, Any]) -> None:
+        for op in block.operations:
+            if isinstance(op, (AffineYieldOp, ScfYieldOp, HidaYieldOp, ReturnOp)):
+                if isinstance(op, ReturnOp):
+                    self._exec(op, env)
+                break
+            self._exec(op, env)
+
+    def _terminator_operands(
+        self, block: Block, env: Dict[Value, Any]
+    ) -> List[Any]:
+        last = block.last_op
+        if last is not None and isinstance(
+            last, (AffineYieldOp, ScfYieldOp, HidaYieldOp)
+        ):
+            return [env[v] for v in last.operands]
+        return []
+
+    def _exec_block(self, block: Block, env: Dict[Value, Any]) -> None:
+        for op in block.operations:
+            self._exec(op, env)
+
+    # ----------------------------------------------------------- dispatch
+    def _exec(self, op: Operation, env: Dict[Value, Any]) -> None:
+        self._charge()
+
+        # Constants and casts -------------------------------------------
+        if isinstance(op, ConstantOp):
+            value = op.value
+            result = op.result()
+            if isinstance(result.type, FloatType):
+                env[result] = float(value)
+            else:
+                env[result] = int(value)
+            return
+        if isinstance(op, UnrealizedCastOp):
+            env[op.result()] = env[op.operand(0)]
+            return
+        if isinstance(op, CastOp):
+            value = env[op.operand(0)]
+            target = op.result().type
+            if isinstance(target, FloatType):
+                env[op.result()] = float(value)
+            else:
+                env[op.result()] = math.trunc(value)
+            return
+
+        # Arith ----------------------------------------------------------
+        handler = _BINARY_FLOAT.get(type(op))
+        if handler is not None:
+            env[op.result()] = handler(env[op.operand(0)], env[op.operand(1)])
+            return
+        if isinstance(op, DivFOp):
+            rhs = env[op.operand(1)]
+            if rhs == 0:
+                raise InterpreterError("float division by zero")
+            env[op.result()] = env[op.operand(0)] / rhs
+            return
+        if isinstance(op, DivIOp):
+            env[op.result()] = _trunc_div(
+                int(env[op.operand(0)]), int(env[op.operand(1)])
+            )
+            return
+        if isinstance(op, NegFOp):
+            env[op.result()] = -env[op.operand(0)]
+            return
+        if isinstance(op, ExpOp):
+            env[op.result()] = math.exp(env[op.operand(0)])
+            return
+        if isinstance(op, SqrtOp):
+            operand = env[op.operand(0)]
+            if operand < 0:
+                raise InterpreterError(f"sqrt of negative value {operand!r}")
+            env[op.result()] = math.sqrt(operand)
+            return
+        if isinstance(op, MACOp):
+            env[op.result()] = env[op.operand(2)] + (
+                env[op.operand(0)] * env[op.operand(1)]
+            )
+            return
+        if isinstance(op, CmpOp):
+            predicate = op.get_attr("predicate")
+            compare = _CMP_PREDICATES.get(str(predicate))
+            if compare is None:
+                raise UnsupportedOpError(f"unknown cmp predicate {predicate!r}")
+            env[op.result()] = int(
+                compare(env[op.operand(0)], env[op.operand(1)])
+            )
+            return
+        if isinstance(op, SelectOp):
+            env[op.result()] = (
+                env[op.operand(1)] if env[op.operand(0)] else env[op.operand(2)]
+            )
+            return
+
+        # Affine ---------------------------------------------------------
+        if isinstance(op, AffineApplyOp):
+            env[op.result()] = self._subscripts(
+                op.map, [env[v] for v in op.operands]
+            )[0]
+            return
+        if isinstance(op, AffineLoadOp):
+            memory = env[op.memref]
+            indices = self._subscripts(
+                op.access_map, [env[v] for v in op.index_operands]
+            )
+            value = memory.load(indices)
+            if value is None:
+                self.oob_reads += 1
+                value = self._zero_for(op.memref)
+            env[op.result()] = value
+            return
+        if isinstance(op, AffineStoreOp):
+            memory = env[op.memref]
+            indices = self._subscripts(
+                op.access_map, [env[v] for v in op.index_operands]
+            )
+            if not memory.store(indices, env[op.value]):
+                self.oob_writes += 1
+            return
+        if isinstance(op, AffineForOp):
+            self._exec_affine_for(op, env)
+            return
+        if isinstance(op, AffineIfOp):
+            condition = op.get_attr("condition")
+            holds = all(
+                v >= 0
+                for v in self._subscripts(
+                    condition, [env[v] for v in op.operands]
+                )
+            )
+            if holds:
+                self._run_body(op.then_block, env)
+            elif op.else_block is not None:
+                self._run_body(op.else_block, env)
+            return
+
+        # MemRef ---------------------------------------------------------
+        if isinstance(op, AllocOp):
+            env[op.result()] = MemoryRef.allocate(op.memref_type, lambda i: 0)
+            return
+        if isinstance(op, DeallocOp):
+            return
+        if isinstance(op, LoadOp):
+            memory = env[op.memref]
+            indices = [int(env[v]) for v in op.indices]
+            value = memory.load(indices)
+            if value is None:
+                self.oob_reads += 1
+                value = self._zero_for(op.memref)
+            env[op.result()] = value
+            return
+        if isinstance(op, StoreOp):
+            memory = env[op.memref]
+            indices = [int(env[v]) for v in op.indices]
+            if not memory.store(indices, env[op.value]):
+                self.oob_writes += 1
+            return
+        if isinstance(op, CopyOp):
+            target = env[op.target]
+            target.copy_from(env[op.source])
+            self.ops_executed += max(target.num_elements - 1, 0)
+            return
+        if isinstance(op, SubViewOp):
+            parent: MemoryRef = env[op.operand(0)]
+            offsets = [int(v) for v in op.get_attr("offsets", ())]
+            sizes = [int(v) for v in op.get_attr("sizes", ())]
+            strides = [int(v) for v in op.get_attr("strides", ())]
+            offset = parent.offset + sum(
+                o * s for o, s in zip(offsets, parent.strides)
+            )
+            view_strides = [
+                p * s for p, s in zip(parent.strides, strides)
+            ]
+            env[op.result()] = MemoryRef(
+                parent.cells, sizes, view_strides, offset
+            )
+            return
+        if isinstance(op, GetGlobalOp):
+            symbol = str(op.get_attr("symbol"))
+            if symbol not in self.globals:
+                slot = _symbol_slot(symbol)
+                self.globals[symbol] = MemoryRef.allocate(
+                    cast(MemRefType, op.result().type),
+                    lambda i: seed_value(slot, i, self.seed),
+                )
+            env[op.result()] = self.globals[symbol]
+            return
+
+        # scf ------------------------------------------------------------
+        if isinstance(op, ScfForOp):
+            self._exec_scf_for(op, env)
+            return
+        if isinstance(op, ScfIfOp):
+            self._exec_scf_if(op, env)
+            return
+        if isinstance(op, ScfWhileOp):
+            self._exec_scf_while(op, env)
+            return
+
+        # hida dataflow --------------------------------------------------
+        if isinstance(op, DispatchOp):
+            self._exec_block_transparent(op.body, env)
+            return
+        if isinstance(op, TaskOp):
+            self._exec_block_transparent(op.body, env)
+            results = self._terminator_operands(op.body, env)
+            for result, value in zip(op.results, results):
+                env[result] = value
+            return
+        if isinstance(op, ScheduleOp):
+            inner: Dict[Value, Any] = {}
+            for operand, argument in zip(op.operands, op.body.arguments):
+                inner[argument] = env[operand]
+            self._exec_block_transparent(op.body, inner)
+            return
+        if isinstance(op, NodeOp):
+            inner = {}
+            for operand, argument in zip(op.operands, op.body.arguments):
+                inner[argument] = env[operand]
+            self._exec_block_transparent(op.body, inner)
+            return
+        if isinstance(op, BufferOp):
+            env[op.result()] = MemoryRef.allocate(op.memref_type, lambda i: 0)
+            return
+        if isinstance(op, StreamOp):
+            env[op.result()] = deque()
+            return
+        if isinstance(op, StreamReadOp):
+            queue: Deque[object] = env[op.operand(0)]
+            if queue:
+                value = queue.popleft()
+            else:
+                self.stream_underflows += 1
+                value = _zero_of(op.result().type)
+            env[op.result()] = value
+            return
+        if isinstance(op, StreamWriteOp):
+            env[op.operand(0)].append(env[op.operand(1)])
+            return
+
+        # Functions ------------------------------------------------------
+        if isinstance(op, ReturnOp):
+            self.returned = tuple(env[v] for v in op.operands)
+            return
+        if isinstance(op, ModuleOp) or isinstance(op, FuncOp):
+            raise InterpreterError(
+                f"{op.name} cannot be executed as a nested op"
+            )
+
+        raise UnsupportedOpError(
+            f"no interpreter semantics for {op.name!r}"
+        )
+
+    # -------------------------------------------------------- region exec
+    def _exec_block_transparent(
+        self, block: Block, env: Dict[Value, Any]
+    ) -> None:
+        for op in block.operations:
+            if isinstance(op, (HidaYieldOp, AffineYieldOp, ScfYieldOp)):
+                break
+            self._exec(op, env)
+
+    def _exec_affine_for(self, loop: AffineForOp, env: Dict[Value, Any]) -> None:
+        body_ops = [
+            op
+            for op in loop.body.operations
+            if not isinstance(op, AffineYieldOp)
+        ]
+        iv = loop.induction_variable
+        for value in range(loop.lower_bound, loop.upper_bound, loop.step):
+            env[iv] = value
+            for op in body_ops:
+                self._exec(op, env)
+
+    def _exec_scf_for(self, loop: ScfForOp, env: Dict[Value, Any]) -> None:
+        lb = int(env[loop.operand(0)])
+        ub = int(env[loop.operand(1)])
+        step = int(env[loop.operand(2)])
+        if step <= 0:
+            raise InterpreterError(f"scf.for step must be positive, got {step}")
+        iter_values = [env[v] for v in loop.operands[3:]]
+        block = loop.regions[0].entry_block
+        body_ops = [
+            op for op in block.operations if not isinstance(op, ScfYieldOp)
+        ]
+        for value in range(lb, ub, step):
+            env[block.arguments[0]] = value
+            for argument, iter_value in zip(block.arguments[1:], iter_values):
+                env[argument] = iter_value
+            for op in body_ops:
+                self._exec(op, env)
+            yielded = self._terminator_operands(block, env)
+            if yielded:
+                iter_values = yielded
+        for result, value in zip(loop.results, iter_values):
+            env[result] = value
+
+    def _exec_scf_if(self, op: ScfIfOp, env: Dict[Value, Any]) -> None:
+        condition = env[op.operand(0)]
+        block: Optional[Block] = None
+        if condition:
+            block = op.regions[0].entry_block
+        elif len(op.regions) > 1 and op.regions[1].blocks:
+            block = op.regions[1].entry_block
+        if block is not None:
+            self._run_body(block, env)
+            results = self._terminator_operands(block, env)
+        else:
+            results = []
+        for index, result in enumerate(op.results):
+            env[result] = (
+                results[index]
+                if index < len(results)
+                else self._zero_for(result)
+            )
+
+    def _exec_scf_while(self, op: ScfWhileOp, env: Dict[Value, Any]) -> None:
+        cond_block = op.regions[0].entry_block
+        body_block = op.regions[1].entry_block
+        values = [env[v] for v in op.operands]
+        while True:
+            for argument, value in zip(cond_block.arguments, values):
+                env[argument] = value
+            self._run_body(cond_block, env)
+            yielded = self._terminator_operands(cond_block, env)
+            if not yielded:
+                raise InterpreterError("scf.while condition region must yield")
+            flag, forwarded = yielded[0], yielded[1:] or values
+            if not flag:
+                values = list(forwarded)
+                break
+            for argument, value in zip(body_block.arguments, forwarded):
+                env[argument] = value
+            self._run_body(body_block, env)
+            next_values = self._terminator_operands(body_block, env)
+            values = next_values if next_values else list(forwarded)
+        for result, value in zip(op.results, values):
+            env[result] = value
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def _executable_module(module: ModuleOp) -> ModuleOp:
+    """The module itself, or an affine-lowered clone if linalg remains."""
+    from ..dialects.linalg import LinalgOp
+
+    if not any(isinstance(op, LinalgOp) for op in module.walk()):
+        return module
+    from ..transforms.linalg_to_affine import lower_linalg_to_affine
+
+    clone = module.clone()
+    lower_linalg_to_affine(clone)
+    return clone
+
+
+def _entry_function(module: ModuleOp, name: Optional[str]) -> FuncOp:
+    functions = module.functions
+    if not functions:
+        raise InterpreterError("module has no functions to execute")
+    if name is not None:
+        func = module.lookup(name)
+        if func is None:
+            raise InterpreterError(f"no function named {name!r}")
+        return func
+    for func in functions:
+        if func.is_top:
+            return func
+    return functions[0]
+
+
+def interpret_module(
+    module: ModuleOp,
+    *,
+    seed: int = 0,
+    max_ops: int = DEFAULT_MAX_OPS,
+    function: Optional[str] = None,
+) -> ExecutionResult:
+    """Execute ``module``'s top function over seeded inputs.
+
+    Raises :class:`InterpreterBudgetError` when the statically estimated
+    cost exceeds ``max_ops`` (callers report "skipped", never a silent
+    pass) and :class:`InterpreterError` on malformed or unsupported IR.
+    """
+    module = _executable_module(module)
+    cost = estimate_cost(module)
+    if cost > max_ops:
+        raise InterpreterBudgetError(
+            f"estimated interpretation cost {cost} exceeds budget {max_ops}",
+            cost=cost,
+            max_ops=max_ops,
+        )
+    func = _entry_function(module, function)
+    return _Interpreter(seed, max_ops).run(func)

@@ -86,6 +86,10 @@ def unroll_loop(
     matching how downstream HLS tools consume unroll pragmas.  With
     ``literal=True`` the loop body is physically replicated ``factor`` times
     and the loop step is scaled, which is used in tests and small kernels.
+    When the factor does not divide the trip count, the trailing iterations
+    the widened step cannot cover are split into an epilogue loop after the
+    unrolled one (found by the translation-validation fuzzer: without the
+    epilogue the last group runs past the upper bound).
     ``check=True`` verifies the factor against carried dependences first.
     """
     annotate_unroll(loop, factor, check=check)
@@ -99,6 +103,20 @@ def unroll_loop(
         op for op in body.operations if not isinstance(op, AffineYieldOp)
     ]
     iv = loop.induction_variable
+    remainder = loop.trip_count % factor
+    if remainder:
+        split = loop.lower_bound + (loop.trip_count - remainder) * loop.step
+        epilogue = AffineForOp.create(
+            split, loop.upper_bound, loop.step, name_hint=iv.name_hint
+        )
+        tail_builder = Builder.at_end(epilogue.body)
+        tail_map: Dict[Value, Value] = {iv: epilogue.induction_variable}
+        for op in original_ops:
+            tail_builder.insert(op.clone(tail_map))
+        parent = loop.parent_block
+        assert parent is not None
+        parent.insert(parent.operations.index(loop) + 1, epilogue)
+        loop.set_bounds(loop.lower_bound, split, loop.step)
     for copy_index in range(1, factor):
         builder = Builder.at_end(body)
         # shifted_iv = iv + copy_index * step

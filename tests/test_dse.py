@@ -438,3 +438,46 @@ def test_module_fingerprint_stability():
     other = fingerprint_op(build_kernel("3mm"))
     assert first == second
     assert first != other
+
+
+def test_explore_validate_frontier(tmp_path):
+    space = tiny_space(kernels=("atax",), factors=(8, 32), tiles=(0,))
+    result = explore(
+        space,
+        workers=1,
+        cache_dir=str(tmp_path / "qor"),
+        validate_frontier=True,
+    )
+    assert result.validation_failures == []
+    assert result.summary()["validation_failures"] == 0.0
+    frontier_validations = [
+        record["validation"] for record in result.frontier if "validation" in record
+    ]
+    assert frontier_validations  # promoted points actually ran
+    for validation in frontier_validations:
+        assert validation["ok"] is True
+        assert validation["outcomes"].get("baseline") == 1
+    clone = type(result).from_dict(result.to_dict())
+    assert clone.validation_failures == result.validation_failures
+
+
+def test_explore_without_validation_keeps_records_clean(tmp_path):
+    space = tiny_space(kernels=("atax",), factors=(8,), tiles=(0,))
+    result = explore(space, workers=1, cache_dir=str(tmp_path / "qor"))
+    assert result.validation_failures == []
+    assert all("validation" not in record for record in result.records)
+
+
+def test_dse_cli_validate_frontier(tmp_path, capsys):
+    from repro.dse.__main__ import main
+
+    code = main(
+        [
+            "--space", "small", "--sample", "2", "--seed", "1",
+            "--cache-dir", str(tmp_path / "qor"),
+            "--validate-frontier",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "frontier validated: 0 failure(s)" in out

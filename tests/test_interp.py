@@ -1,0 +1,219 @@
+"""Tests of the reference IR interpreter (:mod:`repro.ir.interp`).
+
+Covers seeding determinism, the memory model (stores, out-of-bounds
+accounting, copies, subviews via the zoo), control flow, streams, the
+static cost estimate / budget refusal, and :func:`diff_results` semantics.
+The translation-validation layer built on top lives in ``test_tv.py``.
+"""
+
+import pytest
+
+from repro.dialects.affine import AffineApplyOp, AffineForOp, AffineStoreOp
+from repro.dialects.affine_map import AffineMap, dim
+from repro.dialects.dataflow import StreamOp, StreamReadOp, StreamWriteOp
+from repro.dialects.memref import StoreOp
+from repro.dialects import linalg
+from repro.frontend.nn import Linear, Sequential, trace
+from repro.ir import Builder, FuncOp, MemRefType, ModuleOp, ReturnOp, f32, f64
+from repro.ir.core import Operation
+from repro.ir.interp import (
+    DEFAULT_MAX_OPS,
+    ExecutionResult,
+    InterpreterBudgetError,
+    UnsupportedOpError,
+    diff_results,
+    estimate_cost,
+    interpret_module,
+    seed_value,
+)
+from repro.workloads import as_module, get_workload
+
+SIZE = 16
+
+
+def _empty_design(arg_shapes=((SIZE,),)):
+    """A module with one top function over f64 memref arguments."""
+    module = ModuleOp.create()
+    func = FuncOp.create(
+        "main",
+        [MemRefType(shape, f64) for shape in arg_shapes],
+        top=True,
+    )
+    module.body.append(func)
+    return module, func, Builder.at_end(func.entry_block)
+
+
+def _finish(builder):
+    builder.insert(ReturnOp.create())
+
+
+class TestSeeding:
+    def test_seed_value_is_deterministic_and_small(self):
+        values = [seed_value(slot, i) for slot in range(4) for i in range(32)]
+        assert values == [seed_value(s, i) for s in range(4) for i in range(32)]
+        assert all(1 <= v <= 11 for v in values)
+
+    def test_seed_parameter_changes_inputs(self):
+        assert [seed_value(0, i, seed=0) for i in range(8)] != [
+            seed_value(0, i, seed=1) for i in range(8)
+        ]
+
+    def test_untouched_arguments_hold_their_seeds(self):
+        module, _, builder = _empty_design()
+        _finish(builder)
+        result = interpret_module(module)
+        assert result.output_map["arg0"] == tuple(
+            float(seed_value(0, i)) for i in range(SIZE)
+        )
+
+
+class TestMemoryAndControlFlow:
+    def test_store_through_affine_apply(self):
+        module, func, builder = _empty_design()
+        # index = d0 * 2 + 1 applied to 3 -> cell 7
+        index = builder.insert(
+            AffineApplyOp.create(
+                AffineMap(1, 0, [dim(0) * 2 + 1]), [builder.index_constant(3)]
+            )
+        )
+        marker = builder.constant(99.0, f64)
+        builder.insert(StoreOp.create(marker, func.arguments[0], [index.result()]))
+        _finish(builder)
+        cells = interpret_module(module).output_map["arg0"]
+        assert cells[7] == 99.0
+        assert cells[0] == float(seed_value(0, 0))
+
+    def test_affine_loop_writes_every_cell(self):
+        module, func, builder = _empty_design()
+        loop = builder.insert(AffineForOp.create(0, SIZE))
+        with builder.at_end_of(loop.body):
+            marker = builder.constant(42.0, f64)
+            builder.insert(
+                AffineStoreOp.create(
+                    marker, func.arguments[0], [loop.induction_variable]
+                )
+            )
+        _finish(builder)
+        result = interpret_module(module)
+        assert result.output_map["arg0"] == (42.0,) * SIZE
+        assert result.ops_executed > SIZE  # loop body charged per iteration
+
+    def test_out_of_bounds_write_is_dropped_and_counted(self):
+        module, func, builder = _empty_design()
+        marker = builder.constant(1.0, f64)
+        builder.insert(
+            StoreOp.create(
+                marker, func.arguments[0], [builder.index_constant(SIZE + 5)]
+            )
+        )
+        _finish(builder)
+        result = interpret_module(module)
+        assert result.oob_writes == 1
+        assert result.output_map["arg0"] == tuple(
+            float(seed_value(0, i)) for i in range(SIZE)
+        )
+
+    def test_stream_underflow_reads_zero(self):
+        module, _, builder = _empty_design()
+        stream = builder.insert(StreamOp.create(f32, depth=4))
+        value = builder.constant(5.0, f32)
+        builder.insert(StreamWriteOp.create(stream.result(), value))
+        builder.insert(StreamReadOp.create(stream.result()))
+        builder.insert(StreamReadOp.create(stream.result()))  # empty now
+        _finish(builder)
+        result = interpret_module(module)
+        assert result.stream_underflows == 1
+
+    def test_unsupported_op_raises(self):
+        module, _, builder = _empty_design()
+        builder.insert(Operation(name="test.mystery"))
+        _finish(builder)
+        with pytest.raises(UnsupportedOpError, match="test.mystery"):
+            interpret_module(module)
+
+
+class TestBudget:
+    def test_static_estimate_scales_with_trip_count(self):
+        def loop_with_body(trip):
+            module, func, builder = _empty_design()
+            loop = builder.insert(AffineForOp.create(0, trip))
+            with builder.at_end_of(loop.body):
+                marker = builder.constant(1.0, f64)
+                builder.insert(
+                    AffineStoreOp.create(
+                        marker, func.arguments[0], [builder.index_constant(0)]
+                    )
+                )
+            _finish(builder)
+            return loop
+
+        assert estimate_cost(loop_with_body(4096)) > estimate_cost(
+            loop_with_body(4)
+        )
+
+    def test_budget_refusal_reports_cost(self):
+        module = as_module(get_workload("2mm").at(n=8))
+        with pytest.raises(InterpreterBudgetError) as info:
+            interpret_module(module, max_ops=10)
+        assert info.value.cost > info.value.max_ops == 10
+
+    def test_default_budget_admits_the_zoo_kernel(self):
+        module = as_module(get_workload("2mm").at(n=8))
+        result = interpret_module(module, max_ops=DEFAULT_MAX_OPS)
+        assert result.ops_executed > 0
+
+
+class TestWorkloads:
+    def test_execution_is_deterministic(self):
+        handle = get_workload("2mm").at(n=8)
+        first = interpret_module(as_module(handle))
+        second = interpret_module(as_module(handle))
+        assert first.outputs == second.outputs
+        assert first.ops_executed == second.ops_executed
+
+    def test_seed_changes_outputs(self):
+        handle = get_workload("2mm").at(n=8)
+        base = interpret_module(as_module(handle), seed=0)
+        other = interpret_module(as_module(handle), seed=3)
+        assert base.outputs != other.outputs
+
+    def test_linalg_modules_lower_into_a_clone(self):
+        module = trace(Sequential(Linear(4, 4)), (1, 4))
+        assert any(isinstance(op, linalg.LinalgOp) for op in module.walk())
+        result = interpret_module(module)
+        assert result.ops_executed > 0
+        # The original module is untouched: lowering happened in a clone.
+        assert any(isinstance(op, linalg.LinalgOp) for op in module.walk())
+
+
+class TestDiffResults:
+    def _result(self, cells):
+        return ExecutionResult(outputs=(("arg0", tuple(cells)),))
+
+    def test_bitwise_equality_is_the_default(self):
+        left = self._result([1.0, 2.0])
+        right = self._result([1.0, 2.0 + 1e-12])
+        assert diff_results(left, left) == []
+        assert diff_results(left, right)  # any difference is a mismatch
+
+    def test_relative_tolerance_admits_tiny_drift(self):
+        left = self._result([1.0, 2.0])
+        right = self._result([1.0, 2.0 + 1e-12])
+        assert diff_results(left, right, tolerance=1e-9) == []
+        far = self._result([1.0, 2.5])
+        assert diff_results(left, far, tolerance=1e-9)
+
+    def test_shape_and_presence_mismatches_are_named(self):
+        left = self._result([1.0, 2.0])
+        short = self._result([1.0])
+        assert any("element(s)" in m for m in diff_results(left, short))
+        other = ExecutionResult(outputs=(("arg1", (1.0,)),))
+        assert any(
+            "present on one side only" in m for m in diff_results(left, other)
+        )
+
+    def test_mismatch_names_the_first_differing_element(self):
+        left = self._result([1.0, 2.0, 3.0])
+        right = self._result([1.0, 9.0, 8.0])
+        messages = diff_results(left, right)
+        assert messages == ["arg0[1]: 2.0 != 9.0"]

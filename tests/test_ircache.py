@@ -304,3 +304,32 @@ def test_reuse_column_and_summary(tmp_path):
 def test_ir_cache_dir_requires_ir_cache():
     with pytest.raises(ValueError):
         explore(build_space("small"), ir_cache_dir="/tmp/nope")
+
+
+# ---------------------------------------------------------------------------
+# Executed snapshot self-verification (translation validation at the cache)
+# ---------------------------------------------------------------------------
+
+
+def test_store_executes_snapshots_against_live_state(tmp_path):
+    cache = IRSnapshotCache(tmp_path / "ir")
+    compiler = make_compiler()
+    compiler.run(workload="2mm@n=8", ir_cache=cache)
+    # Every stored snapshot round-tripped through the printer/parser AND
+    # re-executed to the live module's exact outputs.
+    assert cache.stores == 7
+    assert cache.exec_verified == 7
+    assert cache.exec_skipped == 0
+    assert cache.verify_failures == 0
+
+
+def test_store_skips_executed_check_over_budget(tmp_path):
+    # Full-size kernels exceed the store-time interpreter budget: the
+    # executed check is skipped honestly (never silently "verified") while
+    # the print->parse->print round-trip still gates the snapshot.
+    cache = IRSnapshotCache(tmp_path / "ir")
+    make_compiler().run(workload="2mm", ir_cache=cache)
+    assert cache.stores == 7
+    assert cache.exec_verified == 0
+    assert cache.exec_skipped == 7
+    assert cache.verify_failures == 0

@@ -32,7 +32,9 @@ TARGETS = [
     "src/repro/analysis",
     "src/repro/ir",
     "src/repro/hida/analysis.py",
+    "src/repro/hida/dataflow_opt.py",
     "src/repro/transforms/array_partition.py",
+    "src/repro/transforms/loop_transforms.py",
 ]
 
 # "path/file.py:123: error: message  [code]" -> "path/file.py: message  [code]"
