@@ -61,6 +61,35 @@ def test_compile_time_reference_interpreter(benchmark):
     assert result.oob_reads == result.oob_writes == 0
 
 
+def test_compile_time_telemetry_disabled(benchmark):
+    """Full-pipeline compile with telemetry off — the overhead guard.
+
+    Every compiler/DSE/simulator hot path is now instrumented through
+    ``repro.obs``, whose disabled mode must cost essentially nothing (a
+    single module-global check per call site).  This benchmark compiles a
+    kernel through the instrumented pipeline with telemetry explicitly
+    disabled; the perf-trend gate compares it (and the plain compile-time
+    benchmarks, whose baseline predates the instrumentation) against
+    ``BENCH_baseline.json``, so a disabled-mode overhead regression beyond
+    the +25% threshold fails CI.  The CI job passes ``--require telemetry``
+    to :mod:`benchmarks.trend` so this guard cannot silently drop out.
+    """
+    from repro import obs
+
+    obs.shutdown()
+    assert not obs.enabled()
+
+    def run():
+        return compile_module(
+            build_kernel("atax"),
+            HidaOptions(platform="zu3eg", max_parallel_factor=32, tile_size=16),
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.throughput > 0
+    assert not obs.enabled()
+
+
 def test_print_and_fingerprint_largest_model(benchmark):
     """Print + content-hash the largest zoo model (the IR-cache hot path).
 

@@ -132,6 +132,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0.25,
         help="fractional slowdown that fails the run (default: 0.25 = +25%%)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        dest="required",
+        default=None,
+        metavar="PATTERN",
+        help="fail (exit 2) unless some passed benchmark's nodeid contains "
+        "PATTERN; repeatable.  Guard benchmarks (e.g. the disabled-telemetry "
+        "overhead compile) must not silently drop out of the gated run.",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_timings(args.baseline)
@@ -139,6 +149,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not current:
         print(f"error: no passed benchmarks in {args.current}", file=sys.stderr)
         return 2
+    for pattern in args.required or []:
+        if not any(pattern in nodeid for nodeid in current):
+            print(
+                f"error: --require {pattern!r} matched no passed benchmark "
+                f"in {args.current}",
+                file=sys.stderr,
+            )
+            return 2
 
     rows, regressions = compare(baseline, current, args.threshold)
     print(render_text(rows))

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
+from .. import obs
 from ..dialects.dataflow import ScheduleOp
 from ..estimation.dataflow_sim import build_channels, channel_cycles
 from ..estimation.platform import Platform, get_platform
@@ -261,7 +262,11 @@ def analyze_module(
         report.schedules += 1
         context = ScheduleContext(op, resolved, locations)
         for rule in active:
-            for diagnostic in rule.check(context):
+            with obs.span(
+                f"rule:{rule.rule_id}", cat="analysis", rule=rule.rule_id
+            ):
+                findings = list(rule.check(context))
+            for diagnostic in findings:
                 anchor = diagnostic.data.pop("_anchor", None)
                 if anchor is not None and is_suppressed(diagnostic.rule, anchor):
                     report.suppressed += 1

@@ -20,6 +20,7 @@ import json
 import sys
 from typing import List, Optional
 
+from .. import obs
 from ..workloads import UnknownWorkloadError, get_workload, iter_workloads
 from ..targets import UnknownTargetError, get_target, iter_targets
 from .driver import (
@@ -174,6 +175,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the result summary as JSON to PATH",
     )
+    obs.add_cli_arguments(parser)
     return parser
 
 
@@ -299,6 +301,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     from ..analysis.tv import TranslationValidationError
     from ..ir.verifier import VerificationError
 
+    obs.cli_configure(args)
     try:
         result = compiler.run(workload=args.workload, ir_cache=ir_cache)
     except PipelineSpecError as error:
@@ -365,6 +368,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
+
+    telemetry = obs.cli_finish(args)
+    if telemetry is not None:
+        print(
+            f"telemetry: {telemetry['spans']} spans, "
+            f"{telemetry['events']} events; "
+            f"compile {telemetry['compile_seconds']:.2f}s, "
+            f"simulate {telemetry['simulate_seconds']:.3f}s, "
+            f"cache probes {telemetry['cache_probe_seconds']:.3f}s"
+        )
     return 0
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Union
 
+from .. import obs
 from ..estimation.platform import get_platform
 from ..ir.builtin import ModuleOp
 from ..ir.verifier import VerificationError, verify
@@ -37,6 +38,7 @@ __all__ = [
     "Compiler",
     "PipelineObserver",
     "TimingObserver",
+    "TracingObserver",
     "SnapshotObserver",
     "DiagnosticsObserver",
     "DEFAULT_PIPELINE",
@@ -56,7 +58,8 @@ def default_pipeline_spec() -> PipelineSpec:
     return parse_pipeline(DEFAULT_PIPELINE)
 
 
-#: Template for :attr:`Compiler.ir_cache_stats` (one instance per run).
+#: Key template for the :attr:`Compiler.ir_cache_stats` view (the values
+#: live as ``ir_cache.*`` counters on :attr:`Compiler.metrics`).
 _ZERO_IR_STATS = {
     "prefix_hits": 0,
     "stages_skipped": 0,
@@ -113,6 +116,42 @@ class TimingObserver(PipelineObserver):
         return totals
 
 
+class TracingObserver(TimingObserver):
+    """A :class:`TimingObserver` that also traces stages as obs spans.
+
+    Each stage becomes a child span (category ``"stage"``) of the run's
+    ``compile`` span on the live :mod:`repro.obs` session, and structured
+    diagnostics mirror as instant events.  :meth:`Compiler.run` attaches one
+    automatically whenever telemetry is enabled, so ``--trace`` needs no
+    caller cooperation; with telemetry disabled it degrades to the plain
+    timing behaviour (``obs.span`` hands out a shared no-op span).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stage_span = None
+
+    def on_stage_start(self, stage, state) -> None:
+        self._stage_span = obs.span(stage.name, cat="stage")
+
+    def on_stage_end(self, stage, state, seconds: float) -> None:
+        super().on_stage_end(stage, state, seconds)
+        span = self._stage_span
+        if span is not None:
+            span.set_attr(seconds=round(seconds, 6))
+            span.finish()
+            self._stage_span = None
+
+    def on_diagnostic(self, diagnostic: Diagnostic) -> None:
+        obs.event(
+            "diagnostic",
+            cat="pipeline",
+            stage=diagnostic.stage,
+            severity=diagnostic.severity,
+            message=diagnostic.message,
+        )
+
+
 class SnapshotObserver(PipelineObserver):
     """Captures a printed-IR snapshot of the module after every stage."""
 
@@ -159,11 +198,15 @@ class Compiler:
         self.verify_each = verify_each
         self.observers: List[PipelineObserver] = list(observers)
         self._legacy_options = None
-        #: Incremental-compilation counters of the most recent :meth:`run`
-        #: (all zero when it ran without an IR cache).  Lives on the
-        #: compiler rather than :class:`CompileResult` so result records
-        #: stay byte-identical with the cache on or off.
-        self.ir_cache_stats: Dict[str, int] = dict(_ZERO_IR_STATS)
+        #: Typed per-run metrics of the most recent :meth:`run` (the
+        #: ``ir_cache.*`` counters back :attr:`ir_cache_stats`).  Lives on
+        #: the compiler rather than :class:`CompileResult` so result records
+        #: stay byte-identical with telemetry/caching on or off.
+        self.metrics = obs.MetricsRegistry()
+        #: Observer exceptions swallowed during the most recent :meth:`run`,
+        #: as structured ``observer-error`` diagnostics.
+        self.observer_errors: List[Diagnostic] = []
+        self._run_observers: List[PipelineObserver] = self.observers
 
     # ------------------------------------------------------------- builders
     @classmethod
@@ -218,9 +261,62 @@ class Compiler:
         self.observers.append(observer)
         return self
 
+    @property
+    def ir_cache_stats(self) -> Dict[str, int]:
+        """Incremental-compilation counters of the most recent :meth:`run`.
+
+        A plain-dict view over the ``ir_cache.*`` counters of
+        :attr:`metrics` (all zero when the run had no IR cache), kept as the
+        stable public surface now that the counters live on a
+        :class:`~repro.obs.MetricsRegistry`.
+        """
+        return {
+            key: int(self.metrics.value(f"ir_cache.{key}"))
+            for key in _ZERO_IR_STATS
+        }
+
     def _emit_diagnostic(self, diagnostic: Diagnostic) -> None:
-        for observer in self.observers:
-            observer.on_diagnostic(diagnostic)
+        self._dispatch("on_diagnostic", diagnostic)
+
+    def _dispatch(self, hook: str, *args, _depth: int = 0) -> None:
+        """Call ``hook`` on every active observer, isolating observer faults.
+
+        An observer that raises must not abort the compilation it is merely
+        watching: the exception is swallowed, recorded as a structured
+        ``observer-error`` diagnostic (kept in :attr:`observer_errors` and
+        fanned out through ``on_diagnostic``) and counted on the telemetry
+        session.  ``_depth`` caps the recursion when an ``on_diagnostic``
+        hook itself fails while reporting a failure.
+        """
+        for observer in self._run_observers:
+            try:
+                getattr(observer, hook)(*args)
+            except Exception as error:
+                if _depth >= 1:
+                    continue
+                diagnostic = Diagnostic(
+                    stage="observer-error",
+                    severity="warning",
+                    message=(
+                        f"{type(observer).__name__}.{hook} raised "
+                        f"{type(error).__name__}: {error}"
+                    ),
+                    data={
+                        "observer": type(observer).__name__,
+                        "hook": hook,
+                        "error": type(error).__name__,
+                    },
+                )
+                self.observer_errors.append(diagnostic)
+                obs.event(
+                    "observer-error",
+                    cat="pipeline",
+                    observer=type(observer).__name__,
+                    hook=hook,
+                    error=type(error).__name__,
+                )
+                obs.inc("compiler.observer_errors")
+                self._dispatch("on_diagnostic", diagnostic, _depth=_depth + 1)
 
     # -------------------------------------------------- incremental helpers
     def snapshot_boundaries(self) -> List[int]:
@@ -293,116 +389,142 @@ class Compiler:
             # Convenience: run("2mm") / run(handle) resolve via the registry.
             workload, module = module, None
 
-        stats = dict(_ZERO_IR_STATS)
-        self.ir_cache_stats = stats
+        self.metrics = obs.MetricsRegistry()
+        self.observer_errors = []
 
-        if ir_cache is not None and workload_key is None:
-            if workload is not None:
-                workload_key = workload_cache_key(workload)
-            else:
-                # Raw modules have no registry identity; their content
-                # fingerprint still lets identical inputs share snapshots.
-                from ..ir.printer import fingerprint_op
+        def count(name: str, amount: int = 1) -> None:
+            # Per-run registry plus the live obs session (no-op if disabled).
+            self.metrics.inc(name, amount)
+            obs.inc(name, amount)
 
-                workload_key = f"fp:{fingerprint_op(module)}"
+        observers = list(self.observers)
+        if obs.enabled() and not any(
+            isinstance(observer, TracingObserver) for observer in observers
+        ):
+            # `--trace` needs no caller cooperation: any run under a live
+            # telemetry session gets per-stage spans attached automatically.
+            observers.append(TracingObserver())
+        self._run_observers = observers
 
-        state: Optional[CompilationState] = None
-        resume_index = 0
-        boundaries = (
-            self.snapshot_boundaries()
-            if ir_cache is not None and workload_key is not None
-            else []
-        )
-        hashes = self.prefix_hashes() if boundaries else []
-        for i in reversed(boundaries):
-            restored = ir_cache.load(workload_key, self.platform, hashes[i])
-            if restored is None:
-                continue
-            module, schedules, balance_report, misalignments = restored
-            state = CompilationState(
-                module=module,
-                platform=get_platform(self.platform),
-                schedules=schedules,
-                balance_report=balance_report,
-                misalignments=misalignments,
+        with obs.span(
+            "compile", cat="pipeline", platform=self.platform, spec=self.spec_text()
+        ) as run_span:
+            if ir_cache is not None and workload_key is None:
+                if workload is not None:
+                    workload_key = workload_cache_key(workload)
+                else:
+                    # Raw modules have no registry identity; their content
+                    # fingerprint still lets identical inputs share snapshots.
+                    from ..ir.printer import fingerprint_op
+
+                    workload_key = f"fp:{fingerprint_op(module)}"
+
+            state: Optional[CompilationState] = None
+            resume_index = 0
+            boundaries = (
+                self.snapshot_boundaries()
+                if ir_cache is not None and workload_key is not None
+                else []
             )
-            resume_index = i
-            stats["prefix_hits"] = 1
-            stats["stages_skipped"] = i
-            break
-
-        if state is None:
-            if module is None:
-                from ..workloads import as_module
-
-                module = as_module(workload)
-                stats["frontend_traces"] = 1
-            state = CompilationState(
-                module=module, platform=get_platform(self.platform)
-            )
-        state._sink = self._emit_diagnostic
-        stage_seconds: Dict[str, float] = {}
-        start = time.perf_counter()
-        for observer in self.observers:
-            observer.on_pipeline_start(self, module)
-        for index, stage in enumerate(self.stages):
-            if index < resume_index:
-                continue  # resumed past this stage from a snapshot
-            for observer in self.observers:
-                observer.on_stage_start(stage, state)
-            stage_start = time.perf_counter()
-            stage.run(state)
-            elapsed = time.perf_counter() - stage_start
-            key = stage.timing_key or stage.name
-            stage_seconds[key] = stage_seconds.get(key, 0.0) + elapsed
-            for observer in self.observers:
-                observer.on_stage_end(stage, state, elapsed)
-            if self.verify_each:
-                issues = verify(module, raise_on_error=False)
-                if issues:
-                    # Surface every issue as a structured diagnostic before
-                    # aborting, so observers (and the CLI) can report which
-                    # stage corrupted what instead of a bare traceback.
-                    for issue in issues:
-                        state.emit(
-                            "verify", issue, severity="error", after=stage.name
-                        )
-                    raise VerificationError(
-                        f"IR verification failed after stage {stage.name!r}: "
-                        f"{len(issues)} issue(s); first: {issues[0]}"
-                    )
-            stats["stages_run"] += 1
-            boundary = index + 1
-            if (
-                boundary in boundaries
-                and boundary > resume_index
-                and ir_cache.store(
-                    workload_key, self.platform, hashes[boundary], state
+            hashes = self.prefix_hashes() if boundaries else []
+            for i in reversed(boundaries):
+                restored = ir_cache.load(workload_key, self.platform, hashes[i])
+                if restored is None:
+                    continue
+                module, schedules, balance_report, misalignments = restored
+                state = CompilationState(
+                    module=module,
+                    platform=get_platform(self.platform),
+                    schedules=schedules,
+                    balance_report=balance_report,
+                    misalignments=misalignments,
                 )
-            ):
-                stats["snapshots_stored"] += 1
-        if state.estimate is None:
-            raise PipelineSpecError(
-                f"pipeline {self.spec_text()!r} produced no QoR estimate; "
-                "append an 'estimate' stage (observers can inspect partial runs)"
+                resume_index = i
+                count("ir_cache.prefix_hits")
+                count("ir_cache.stages_skipped", i)
+                obs.event(
+                    "ircache.resume",
+                    cat="cache",
+                    skipped=i,
+                    prefix=hashes[i][:12],
+                )
+                break
+
+            if state is None:
+                if module is None:
+                    from ..workloads import as_module
+
+                    with obs.span(
+                        "frontend-trace", cat="frontend", workload=str(workload)[:80]
+                    ):
+                        module = as_module(workload)
+                    count("ir_cache.frontend_traces")
+                state = CompilationState(
+                    module=module, platform=get_platform(self.platform)
+                )
+            state._sink = self._emit_diagnostic
+            stage_seconds: Dict[str, float] = {}
+            start = time.perf_counter()
+            self._dispatch("on_pipeline_start", self, module)
+            for index, stage in enumerate(self.stages):
+                if index < resume_index:
+                    continue  # resumed past this stage from a snapshot
+                self._dispatch("on_stage_start", stage, state)
+                stage_start = time.perf_counter()
+                stage.run(state)
+                elapsed = time.perf_counter() - stage_start
+                key = stage.timing_key or stage.name
+                stage_seconds[key] = stage_seconds.get(key, 0.0) + elapsed
+                self._dispatch("on_stage_end", stage, state, elapsed)
+                if self.verify_each:
+                    with obs.span("verify", cat="stage", after=stage.name):
+                        issues = verify(module, raise_on_error=False)
+                    if issues:
+                        # Surface every issue as a structured diagnostic
+                        # before aborting, so observers (and the CLI) can
+                        # report which stage corrupted what instead of a
+                        # bare traceback.
+                        for issue in issues:
+                            state.emit(
+                                "verify", issue, severity="error", after=stage.name
+                            )
+                        raise VerificationError(
+                            f"IR verification failed after stage {stage.name!r}: "
+                            f"{len(issues)} issue(s); first: {issues[0]}"
+                        )
+                count("ir_cache.stages_run")
+                boundary = index + 1
+                if (
+                    boundary in boundaries
+                    and boundary > resume_index
+                    and ir_cache.store(
+                        workload_key, self.platform, hashes[boundary], state
+                    )
+                ):
+                    count("ir_cache.snapshots_stored")
+            if state.estimate is None:
+                raise PipelineSpecError(
+                    f"pipeline {self.spec_text()!r} produced no QoR estimate; "
+                    "append an 'estimate' stage (observers can inspect "
+                    "partial runs)"
+                )
+            if self._legacy_options is None:
+                self._legacy_options = _options_from_stages(
+                    self.stages, platform=self.platform, verify=self.verify_each
+                )
+            result = CompileResult(
+                module=module,
+                schedules=state.schedules,
+                estimate=state.estimate,
+                parallelization=state.parallelization,
+                balance_report=state.balance_report,
+                options=self._legacy_options,
+                compile_seconds=time.perf_counter() - start,
+                stage_seconds=stage_seconds,
+                misalignments=state.misalignments,
             )
-        if self._legacy_options is None:
-            self._legacy_options = _options_from_stages(
-                self.stages, platform=self.platform, verify=self.verify_each
-            )
-        result = CompileResult(
-            module=module,
-            schedules=state.schedules,
-            estimate=state.estimate,
-            parallelization=state.parallelization,
-            balance_report=state.balance_report,
-            options=self._legacy_options,
-            compile_seconds=time.perf_counter() - start,
-            stage_seconds=stage_seconds,
-            misalignments=state.misalignments,
-        )
-        for observer in self.observers:
-            observer.on_pipeline_end(result)
+            run_span.set_attr(compile_seconds=round(result.compile_seconds, 6))
+            self._dispatch("on_pipeline_end", result)
         return result
 
     def run_workload(self, workload):

@@ -25,6 +25,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .. import obs
 from ..targets import UnknownTargetError, get_target
 from ..workloads import UnknownWorkloadError
 from .cache import QoRCache, default_cache_dir
@@ -254,6 +255,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="print at most N frontier rows (0 = all)",
     )
+    obs.add_cli_arguments(parser)
     return parser
 
 
@@ -409,6 +411,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"with {args.workers} worker(s), cache "
         f"{'off' if args.no_cache else (args.cache_dir or str(default_cache_dir()))}"
     )
+    obs.cli_configure(args)
     result = explore(
         space,
         workers=args.workers,
@@ -501,6 +504,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())
         print(f"wrote {args.json}")
+
+    summary = obs.cli_finish(args)
+    if summary is not None:
+        print(
+            f"telemetry: {summary['spans']} spans, {summary['events']} events; "
+            f"compile {summary['compile_seconds']:.2f}s, "
+            f"simulate {summary['simulate_seconds']:.3f}s, "
+            f"cache probes {summary['cache_probe_seconds']:.3f}s"
+        )
 
     return (
         0

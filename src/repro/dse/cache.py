@@ -31,6 +31,9 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Optional
 
+from .. import obs
+from ..obs.metrics import MetricsRegistry
+
 __all__ = ["QoRCache", "default_cache_dir"]
 
 #: Cache schema version: bump when record layout or QoR semantics change.
@@ -53,8 +56,33 @@ class QoRCache:
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
+        #: Probe counters live on a metrics registry; :attr:`hits` and
+        #: :attr:`misses` remain as plain-int views for the existing surface.
+        self.metrics = MetricsRegistry()
+
+    @property
+    def hits(self) -> int:
+        return int(self.metrics.value("qor_cache.hits"))
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.metrics.counter("qor_cache.hits").value = float(value)
+
+    @property
+    def misses(self) -> int:
+        return int(self.metrics.value("qor_cache.misses"))
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.metrics.counter("qor_cache.misses").value = float(value)
+
+    def _record_probe(self, key: str, hit: bool) -> None:
+        # Keys are namespaced ("point|...", "ir|...", "irfp|..."), so the
+        # leading token tells the telemetry which cache family was probed.
+        self.metrics.inc("qor_cache.hits" if hit else "qor_cache.misses")
+        kind = key.split("|", 1)[0]
+        obs.inc(f"cache.{kind}.{'hits' if hit else 'misses'}")
+        obs.event("cache.get", cat="cache", kind=kind, hit=hit, key=key[:96])
 
     # ---------------------------------------------------------------- paths
     def _path(self, key: str) -> Path:
@@ -70,20 +98,23 @@ class QoRCache:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
         except (OSError, ValueError):
-            self.misses += 1
+            self._record_probe(key, hit=False)
             return None
         if record.get("_cache_version") != CACHE_VERSION:
-            self.misses += 1
+            self._record_probe(key, hit=False)
             return None
         with contextlib.suppress(OSError):
             # Touch for LRU eviction ordering.
             os.utime(path)
-        self.hits += 1
+        self._record_probe(key, hit=True)
         return record.get("payload")
 
     def put(self, key: str, payload: Dict) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        kind = key.split("|", 1)[0]
+        obs.inc(f"cache.{kind}.stores")
+        obs.event("cache.put", cat="cache", kind=kind, key=key[:96])
         record = {"_cache_version": CACHE_VERSION, "payload": payload}
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:

@@ -37,12 +37,14 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..compiler.ircache import (
     IRSnapshotCache,
     default_ir_cache_dir,
     workload_cache_key,
 )
 from ..estimation.qor import QoREstimator
+from ..obs.metrics import MetricsRegistry
 from ..evaluation.reporting import ExplorationResult, relative_disagreement
 from ..ir.printer import fingerprint_op
 from .cache import QoRCache
@@ -136,6 +138,7 @@ def evaluate_point(
     cache_dir: Optional[str] = None,
     fidelity: str = DEFAULT_FIDELITY,
     ir_cache_dir: Optional[str] = None,
+    trace: Optional[Dict[str, str]] = None,
 ) -> Dict:
     """Evaluate one design point; safe to call in a worker process.
 
@@ -157,71 +160,87 @@ def evaluate_point(
     run's reuse counters travel under the record's ``"ir_cache"`` key,
     which :func:`explore` pops into aggregate statistics — cached QoR
     records themselves stay byte-identical with the IR cache on or off.
+
+    ``trace`` carries a serialized :class:`~repro.obs.SpanContext` into
+    worker processes: the worker adopts it (so its spans stitch under the
+    orchestrating span), then hands its collected events back under the
+    record's ``"telemetry"`` key — popped by the parent exactly like
+    ``"ir_cache"``, so traced and untraced records are byte-identical.
     """
+    obs.begin_worker(trace)
     record = _record_for_point(point)
     record["fidelity"] = fidelity
     started = time.perf_counter()
     ir_stats: Optional[Dict[str, int]] = None
-    try:
-        level = get_fidelity(fidelity)
-        compiler = point.compiler()
-        spec = point.workload_spec()
-        ir_cache = IRSnapshotCache(ir_cache_dir) if ir_cache_dir else None
-        if ir_cache is not None:
-            ir_stats = {
-                "prefix_hits": 0,
-                "stages_skipped": 0,
-                "stages_run": 0,
-                "frontend_traces": 0,
-                "snapshots_stored": 0,
-            }
-        fingerprint, module, traces = _resolve_fingerprint(spec, ir_cache)
-        if ir_stats is not None:
-            ir_stats["frontend_traces"] += traces
-        record["module_fingerprint"] = fingerprint
-        record["pipeline_spec"] = compiler.spec_text()
-        cache = QoRCache(cache_dir) if cache_dir else None
-        key = _point_cache_key(
-            fingerprint, point.platform, compiler.spec_text(), fidelity
-        )
-        if cache is not None:
-            cached = cache.get(key)
+    with obs.span(
+        "dse.point", cat="dse", label=point.label(), fidelity=fidelity
+    ) as point_span:
+        try:
+            level = get_fidelity(fidelity)
+            compiler = point.compiler()
+            spec = point.workload_spec()
+            ir_cache = IRSnapshotCache(ir_cache_dir) if ir_cache_dir else None
+            if ir_cache is not None:
+                ir_stats = {
+                    "prefix_hits": 0,
+                    "stages_skipped": 0,
+                    "stages_run": 0,
+                    "frontend_traces": 0,
+                    "snapshots_stored": 0,
+                }
+            fingerprint, module, traces = _resolve_fingerprint(spec, ir_cache)
+            if ir_stats is not None:
+                ir_stats["frontend_traces"] += traces
+            record["module_fingerprint"] = fingerprint
+            record["pipeline_spec"] = compiler.spec_text()
+            cache = QoRCache(cache_dir) if cache_dir else None
+            key = _point_cache_key(
+                fingerprint, point.platform, compiler.spec_text(), fidelity
+            )
+            cached = None
+            if cache is not None:
+                with obs.span("qor-cache.probe", cat="cache"):
+                    cached = cache.get(key)
             if cached is not None:
                 record.update(cached)
                 record["cached"] = True
                 record["fidelity"] = fidelity
-                if ir_stats is not None:
-                    record["ir_cache"] = ir_stats
-                record["eval_seconds"] = time.perf_counter() - started
-                return record
-        if ir_cache is not None:
-            # Hand the *spec* through when no module is in hand: on a
-            # prefix hit the driver rehydrates from the snapshot and the
-            # frontend never runs in this process at all.
-            result = (
-                compiler.run(
-                    module, ir_cache=ir_cache, workload_key=workload_cache_key(spec)
-                )
-                if module is not None
-                else compiler.run(workload=spec, ir_cache=ir_cache)
-            )
-            for name, value in compiler.ir_cache_stats.items():
-                ir_stats[name] = ir_stats.get(name, 0) + value
-        else:
-            if module is None:
-                module = spec.build()
-            result = compiler.run(module)
-        payload = level.apply(result)
-        if cache is not None:
-            cache.put(key, payload)
-        record.update(payload)
-        record["cached"] = False
-    except Exception:
-        record["error"] = traceback.format_exc(limit=8)
-        record["cached"] = False
+                point_span.set_attr(cached=True)
+            else:
+                if ir_cache is not None:
+                    # Hand the *spec* through when no module is in hand: on
+                    # a prefix hit the driver rehydrates from the snapshot
+                    # and the frontend never runs in this process at all.
+                    result = (
+                        compiler.run(
+                            module,
+                            ir_cache=ir_cache,
+                            workload_key=workload_cache_key(spec),
+                        )
+                        if module is not None
+                        else compiler.run(workload=spec, ir_cache=ir_cache)
+                    )
+                    for name, value in compiler.ir_cache_stats.items():
+                        ir_stats[name] = ir_stats.get(name, 0) + value
+                else:
+                    if module is None:
+                        module = spec.build()
+                    result = compiler.run(module)
+                payload = level.apply(result)
+                if cache is not None:
+                    cache.put(key, payload)
+                record.update(payload)
+                record["cached"] = False
+        except Exception:
+            record["error"] = traceback.format_exc(limit=8)
+            record["cached"] = False
     if ir_stats is not None:
         record["ir_cache"] = ir_stats
     record["eval_seconds"] = time.perf_counter() - started
+    if trace is not None:
+        telemetry = obs.drain_worker()
+        if telemetry is not None:
+            record["telemetry"] = telemetry
     return record
 
 
@@ -246,7 +265,8 @@ def _replay_cached(
         ir_cache = IRSnapshotCache(ir_cache_dir) if ir_cache_dir else None
         fingerprint, _, _ = _resolve_fingerprint(spec, ir_cache)
         key = _point_cache_key(fingerprint, point.platform, spec_text, fidelity)
-        cached = QoRCache(cache_dir).get(key)
+        with obs.span("qor-cache.probe", cat="cache", side="parent"):
+            cached = QoRCache(cache_dir).get(key)
         if cached is None:
             return None
         record["module_fingerprint"] = fingerprint
@@ -335,6 +355,19 @@ def _merge_ir_stats(records: List[Dict]) -> Dict[str, int]:
     return totals
 
 
+def _merge_telemetry(records: List[Dict]) -> None:
+    """Pop per-record worker telemetry and fold it into the live session.
+
+    Popped (never copied), exactly like :func:`_merge_ir_stats`: records —
+    and therefore frontier JSON and fixed-seed comparisons — stay
+    byte-identical whether tracing is on or off.
+    """
+    for record in records:
+        payload = record.pop("telemetry", None)
+        if payload:
+            obs.ingest(payload)
+
+
 def _evaluate_batch(
     points: Sequence[DesignPoint],
     workers: int,
@@ -378,6 +411,10 @@ def _evaluate_batch(
             for point in pending
         )
     elif pending:
+        # Serialize the current span context so worker-side spans stitch
+        # under the orchestrating span (None while tracing is disabled).
+        trace_ctx = obs.propagation_context()
+
         def fan_out(executor: ProcessPoolExecutor) -> None:
             records.extend(
                 executor.map(
@@ -386,6 +423,7 @@ def _evaluate_batch(
                     [resolved_cache] * len(pending),
                     [fidelity] * len(pending),
                     [ir_cache_dir] * len(pending),
+                    [trace_ctx] * len(pending),
                     chunksize=max(1, chunksize),
                 )
             )
@@ -395,6 +433,7 @@ def _evaluate_batch(
         else:
             with _make_pool(workers, pending) as local_pool:
                 fan_out(local_pool)
+    _merge_telemetry(records)
     ir_stats = _merge_ir_stats(records)
     # ``pool.map`` already preserves order; re-sort by the batch point order
     # (prefix grouping reorders evaluation) so downstream consumers can
@@ -630,13 +669,23 @@ def explore(
         )
     elif ir_cache_dir:
         raise ValueError("ir_cache_dir has no effect with ir_cache=False")
-    ir_totals: Dict[str, int] = {}
+    #: Run-level metrics: ``ir_cache.*`` counters aggregate the per-record
+    #: dumps popped by :func:`_merge_ir_stats`; the ``prefix_hits`` /
+    #: ``stages_skipped`` result fields are views over this registry.
+    run_metrics = MetricsRegistry()
 
     def absorb_ir_stats(stats: Dict[str, int]) -> None:
         for name, value in stats.items():
-            ir_totals[name] = ir_totals.get(name, 0) + value
+            run_metrics.inc(f"ir_cache.{name}", value)
 
     started = time.perf_counter()
+    explore_span = obs.span(
+        "dse.explore",
+        cat="dse",
+        points=len(points),
+        workers=max(1, workers),
+        fidelity=level.name,
+    )
     strategy_name: Optional[str] = None
     generations: List[Dict] = []
     stopped_early = False
@@ -663,15 +712,21 @@ def explore(
                 promote_points = [
                     by_key[key] for key in promote_keys if key in by_key
                 ]
-                promoted_records, _, promote_ir = _evaluate_batch(
-                    promote_points,
-                    workers,
-                    resolved_cache,
-                    chunksize,
-                    pool=sweep_pool,
+                with obs.span(
+                    "dse.promote",
+                    cat="dse",
+                    points=len(promote_points),
                     fidelity=level.name,
-                    ir_cache_dir=resolved_ir_cache,
-                )
+                ):
+                    promoted_records, _, promote_ir = _evaluate_batch(
+                        promote_points,
+                        workers,
+                        resolved_cache,
+                        chunksize,
+                        pool=sweep_pool,
+                        fidelity=level.name,
+                        ir_cache_dir=resolved_ir_cache,
+                    )
                 absorb_ir_stats(promote_ir)
                 records.extend(promoted_records)
         finally:
@@ -724,6 +779,12 @@ def explore(
                 if not batch:
                     break
                 batch = batch[: budget - evaluated_designs]
+                generation_span = obs.span(
+                    "dse.generation",
+                    cat="dse",
+                    generation=len(generations),
+                    batch=len(batch),
+                )
                 batch_records, _, batch_ir = _evaluate_batch(
                     batch, workers, resolved_cache, chunksize, pool=pool,
                     ir_cache_dir=resolved_ir_cache,
@@ -750,15 +811,21 @@ def explore(
                     promote_points = [
                         by_key[key] for key in promote_keys if key in by_key
                     ]
-                    promoted_records, _, promote_ir = _evaluate_batch(
-                        promote_points,
-                        workers,
-                        resolved_cache,
-                        chunksize,
-                        pool=pool,
+                    with obs.span(
+                        "dse.promote",
+                        cat="dse",
+                        points=len(promote_points),
                         fidelity=level.name,
-                        ir_cache_dir=resolved_ir_cache,
-                    )
+                    ):
+                        promoted_records, _, promote_ir = _evaluate_batch(
+                            promote_points,
+                            workers,
+                            resolved_cache,
+                            chunksize,
+                            pool=pool,
+                            fidelity=level.name,
+                            ir_cache_dir=resolved_ir_cache,
+                        )
                     absorb_ir_stats(promote_ir)
                     batch_ir = {
                         name: batch_ir.get(name, 0) + promote_ir.get(name, 0)
@@ -798,6 +865,10 @@ def explore(
                         "stages_skipped": batch_ir.get("stages_skipped", 0),
                     }
                 )
+                generation_span.set_attr(
+                    evaluated=len(batch_records), promoted=len(promoted_records)
+                )
+                generation_span.finish()
                 boundaries.append(len(records))
                 if patience is not None:
                     # Online improvement check: both prefixes are scored
@@ -846,6 +917,8 @@ def explore(
                 prefix, objectives, group_by_workload, references
             )
     elapsed = time.perf_counter() - started
+    explore_span.set_attr(records=len(records), elapsed_seconds=round(elapsed, 6))
+    explore_span.finish()
 
     errors = [r for r in records if "error" in r]
     # Re-rank on the most trusted record per design point: promoted points
@@ -855,6 +928,9 @@ def explore(
     validation_failures: List[Dict] = []
     if validate_frontier:
         frontier, validation_failures = _validate_frontier(frontier, points)
+    # The compile/simulate/cache-probe time split of this run, when tracing
+    # is on (None otherwise, keeping result files byte-identical to seed).
+    telemetry = obs.telemetry_summary() if obs.enabled() else None
     return ExplorationResult(
         records=records,
         frontier=frontier,
@@ -871,10 +947,11 @@ def explore(
         fidelity=level.name,
         promote_top=policy.promote_top if policy is not None else None,
         stopped_early=stopped_early,
-        prefix_hits=ir_totals.get("prefix_hits", 0),
-        stages_skipped=ir_totals.get("stages_skipped", 0),
+        prefix_hits=int(run_metrics.value("ir_cache.prefix_hits")),
+        stages_skipped=int(run_metrics.value("ir_cache.stages_skipped")),
         rejected=rejected,
         validation_failures=validation_failures,
+        telemetry=telemetry,
     )
 
 

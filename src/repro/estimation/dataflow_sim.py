@@ -30,8 +30,10 @@ from ..dialects.dataflow import (
 
 __all__ = [
     "ChannelSpec",
+    "DataflowTimeline",
     "simulate_dataflow",
     "simulate_schedule",
+    "dataflow_timeline",
     "build_channels",
     "channel_cycles",
     "topological_order_with_cycle",
@@ -133,12 +135,53 @@ def simulate_dataflow(
     if num_nodes == 0:
         return 1.0, 1.0
     frames = max(int(frames), 4)
+    start, finish = _schedule_frames(latencies, channels, frames, intervals)
+
+    last_finish = [max(finish[f]) for f in range(frames)]
+    single_frame_latency = last_finish[0]
+    half = frames // 2
+    steady_interval = (last_finish[-1] - last_finish[half]) / max(frames - 1 - half, 1)
+    # Internally pipelined nodes can sustain one frame per interval, so the
+    # whole pipeline's floor is the slowest node *interval* (falling back to
+    # the slowest node latency for unpipelined designs).
+    floor = (
+        (max(latencies) if latencies else 1.0)
+        if intervals is None
+        else max(max(i, 1.0) for i in intervals)
+    )
+    steady_interval = max(steady_interval, floor)
+    return steady_interval, single_frame_latency
+
+
+def _frame_bounds(
+    latencies: Sequence[float],
+    channels: Sequence[ChannelSpec],
+) -> Tuple[Dict[int, List[ChannelSpec]], Dict[int, List[ChannelSpec]]]:
+    num_nodes = len(latencies)
     preds: Dict[int, List[ChannelSpec]] = {i: [] for i in range(num_nodes)}
     succs: Dict[int, List[ChannelSpec]] = {i: [] for i in range(num_nodes)}
     for channel in channels:
         preds[channel.consumer].append(channel)
         succs[channel.producer].append(channel)
+    return preds, succs
 
+
+def _schedule_frames(
+    latencies: Sequence[float],
+    channels: Sequence[ChannelSpec],
+    frames: int,
+    intervals: Optional[Sequence[float]],
+) -> Tuple[List[List[float]], List[List[float]]]:
+    """``(start, finish)`` frame-by-frame schedule of the firing recurrence.
+
+    ``start[f][n]`` / ``finish[f][n]`` are the cycle at which node ``n``
+    begins / completes frame ``f`` under the rules documented on
+    :func:`simulate_dataflow`.  This is the single recurrence behind both
+    the interval/latency summary and the occupancy timeline
+    (:func:`dataflow_timeline`), so the two can never disagree.
+    """
+    num_nodes = len(latencies)
+    preds, succs = _frame_bounds(latencies, channels)
     order = _topological_order(num_nodes, channels)
     finish = [[0.0] * num_nodes for _ in range(frames)]
     start = [[0.0] * num_nodes for _ in range(frames)]
@@ -163,21 +206,109 @@ def simulate_dataflow(
                     earliest = max(earliest, finish[waiting_frame][channel.consumer])
             start[frame][node] = earliest
             finish[frame][node] = earliest + max(latencies[node], 1.0)
+    return start, finish
 
-    last_finish = [max(finish[f]) for f in range(frames)]
-    single_frame_latency = last_finish[0]
-    half = frames // 2
-    steady_interval = (last_finish[-1] - last_finish[half]) / max(frames - 1 - half, 1)
-    # Internally pipelined nodes can sustain one frame per interval, so the
-    # whole pipeline's floor is the slowest node *interval* (falling back to
-    # the slowest node latency for unpipelined designs).
-    floor = (
-        (max(latencies) if latencies else 1.0)
-        if intervals is None
-        else max(max(i, 1.0) for i in intervals)
+
+@dataclasses.dataclass
+class DataflowTimeline:
+    """Cycle-resolved occupancy of one simulated dataflow run.
+
+    ``node_busy[n]`` holds one ``(start, finish)`` interval per frame;
+    ``node_stalls[n]`` the idle gaps in front of a frame start, each
+    annotated with its cause — ``"data"`` (an input frame was not ready)
+    or ``"backpressure"`` (a full output channel blocked the firing).
+    ``channel_depth[c]`` samples channel ``c``'s in-flight frame count at
+    every push/pop instant and ``channel_hwm[c]`` is its high-water mark.
+    All times are in the same cycle units as the input latencies; the obs
+    layer renders this as Perfetto tracks (:func:`repro.obs.emit_timeline`).
+    """
+
+    node_busy: List[List[Tuple[float, float]]]
+    node_stalls: List[List[Tuple[float, float, str]]]
+    channel_depth: List[List[Tuple[float, int]]]
+    channel_hwm: List[int]
+    frames: int
+
+
+def dataflow_timeline(
+    latencies: Sequence[float],
+    channels: Sequence[ChannelSpec],
+    frames: int = 16,
+    intervals: Optional[Sequence[float]] = None,
+) -> DataflowTimeline:
+    """Run the firing recurrence and keep the full occupancy timeline.
+
+    Same inputs and scheduling rules as :func:`simulate_dataflow` (which
+    reports only the interval/latency summary); the timeline is what the
+    observability layer turns into per-node busy/stall tracks and
+    per-channel depth counters.
+    """
+    num_nodes = len(latencies)
+    frames = max(int(frames), 4)
+    if num_nodes == 0:
+        return DataflowTimeline([], [], [], [], frames)
+    start, finish = _schedule_frames(latencies, channels, frames, intervals)
+    preds, _ = _frame_bounds(latencies, channels)
+    epsilon = 1e-9
+
+    node_busy = [
+        [(start[frame][node], finish[frame][node]) for frame in range(frames)]
+        for node in range(num_nodes)
+    ]
+    node_stalls: List[List[Tuple[float, float, str]]] = [
+        [] for _ in range(num_nodes)
+    ]
+    for frame in range(frames):
+        for node in range(num_nodes):
+            if frame > 0:
+                ready = (
+                    finish[frame - 1][node]
+                    if intervals is None
+                    else start[frame - 1][node] + max(intervals[node], 1.0)
+                )
+            else:
+                ready = 0.0
+            began = start[frame][node]
+            if began <= ready + epsilon:
+                continue
+            # The firing is the max of the readiness bounds, so whichever
+            # bound equals the actual start names the cause of the stall.
+            data_bound = max(
+                (finish[frame][channel.producer] for channel in preds[node]),
+                default=0.0,
+            )
+            cause = "data" if data_bound >= began - epsilon else "backpressure"
+            node_stalls[node].append((ready, began, cause))
+
+    channel_depth: List[List[Tuple[float, int]]] = []
+    channel_hwm: List[int] = []
+    for channel in channels:
+        # A frame enters the channel when its producer finishes it and
+        # leaves when its consumer finishes it; pushes sort before pops at
+        # equal timestamps so the high-water mark captures the peak.
+        events = sorted(
+            [(finish[f][channel.producer], 0, 1) for f in range(frames)]
+            + [(finish[f][channel.consumer], 1, -1) for f in range(frames)]
+        )
+        depth = 0
+        hwm = 0
+        series: List[Tuple[float, int]] = []
+        for ts, _, delta in events:
+            depth += delta
+            hwm = max(hwm, depth)
+            if series and series[-1][0] == ts:
+                series[-1] = (ts, depth)
+            else:
+                series.append((ts, depth))
+        channel_depth.append(series)
+        channel_hwm.append(hwm)
+    return DataflowTimeline(
+        node_busy=node_busy,
+        node_stalls=node_stalls,
+        channel_depth=channel_depth,
+        channel_hwm=channel_hwm,
+        frames=frames,
     )
-    steady_interval = max(steady_interval, floor)
-    return steady_interval, single_frame_latency
 
 
 def _dedup_adjacency(

@@ -25,6 +25,7 @@ import dataclasses
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..dialects.affine import (
     AffineForOp,
     AffineLoadOp,
@@ -595,39 +596,57 @@ def simulate_design(
     overlap the hardware would not have.  Resources are unchanged
     everywhere: simulation refines *timing*, not area.
     """
-    from .dataflow_sim import build_channels, simulate_dataflow
+    from .dataflow_sim import build_channels, dataflow_timeline, simulate_dataflow
 
     if not schedules:
         return dataclasses.replace(estimate)
 
     best: Optional[Tuple[float, float, List[NodeEstimate]]] = None
-    for schedule in schedules:
-        nodes, channels = build_channels(schedule)
-        if not nodes:
-            continue
-        simulated = [simulate_node(node, platform, frames=frames) for node in nodes]
-        latencies = [latency for latency, _ in simulated]
-        intervals = [interval for _, interval in simulated]
-        interval, latency = simulate_dataflow(
-            latencies, channels, frames=frames, intervals=intervals
-        )
-        # Per-node resources come from the analytic model *of this
-        # schedule's nodes* (never zipped against estimate.node_estimates,
-        # which may describe a different schedule): simulation replaces the
-        # timing fields only.
-        node_estimates = [
-            dataclasses.replace(
-                estimate_node(node, platform),
-                latency=node_latency,
-                interval=node_interval,
+    best_graph = None
+    with obs.span("simulate-design", cat="sim", schedules=len(schedules)) as sim_span:
+        for schedule in schedules:
+            nodes, channels = build_channels(schedule)
+            if not nodes:
+                continue
+            simulated = [
+                simulate_node(node, platform, frames=frames) for node in nodes
+            ]
+            latencies = [latency for latency, _ in simulated]
+            intervals = [interval for _, interval in simulated]
+            interval, latency = simulate_dataflow(
+                latencies, channels, frames=frames, intervals=intervals
             )
-            for node, (node_latency, node_interval) in zip(nodes, simulated)
-        ]
-        # Mirror EstimateStage: the slowest (top-level) schedule dominates.
-        if best is None or latency > best[0]:
-            best = (latency, interval, node_estimates)
-    if best is None:
-        return dataclasses.replace(estimate)
+            # Per-node resources come from the analytic model *of this
+            # schedule's nodes* (never zipped against estimate.node_estimates,
+            # which may describe a different schedule): simulation replaces the
+            # timing fields only.
+            node_estimates = [
+                dataclasses.replace(
+                    estimate_node(node, platform),
+                    latency=node_latency,
+                    interval=node_interval,
+                )
+                for node, (node_latency, node_interval) in zip(nodes, simulated)
+            ]
+            # Mirror EstimateStage: the slowest (top-level) schedule dominates.
+            if best is None or latency > best[0]:
+                best = (latency, interval, node_estimates)
+                best_graph = (schedule, nodes, channels, latencies, intervals)
+        if best is None:
+            return dataclasses.replace(estimate)
+        sim_span.set_attr(latency=round(best[0], 3), interval=round(best[1], 3))
+        if obs.enabled() and best_graph is not None:
+            # Re-run only the winning schedule to materialize its occupancy
+            # timeline; disabled runs never pay for interval bookkeeping.
+            schedule, nodes, channels, latencies, intervals = best_graph
+            timeline = dataflow_timeline(
+                latencies, channels, frames=frames, intervals=intervals
+            )
+            obs.emit_timeline(
+                timeline,
+                label=schedule.label or "schedule",
+                node_names=[node.label or "node" for node in nodes],
+            )
     latency, interval, node_estimates = best
     return dataclasses.replace(
         estimate,

@@ -137,6 +137,12 @@ class ExplorationResult:
     #: interpreter (one record per point: label, error, mismatching
     #: stage checks; see :mod:`repro.analysis.tv`).
     validation_failures: List[Dict] = dataclasses.field(default_factory=list)
+    #: Telemetry summary of the run when tracing was enabled (span counts
+    #: and the compile / simulate / cache-probe wall-time split; see
+    #: :func:`repro.obs.telemetry_summary`).  None on untraced runs, and
+    #: omitted from :meth:`to_dict` then, so result files are byte-identical
+    #: to pre-telemetry output.
+    telemetry: Optional[Dict] = None
 
     @property
     def num_points(self) -> int:
@@ -365,7 +371,7 @@ class ExplorationResult:
 
     # ---------------------------------------------------------- serialization
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "records": self.records,
             "frontier": self.frontier,
             "objectives": list(self.objectives),
@@ -386,6 +392,9 @@ class ExplorationResult:
             "rejected": self.rejected,
             "validation_failures": self.validation_failures,
         }
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -412,4 +421,5 @@ class ExplorationResult:
             stages_skipped=int(data.get("stages_skipped", 0)),
             rejected=list(data.get("rejected", [])),
             validation_failures=list(data.get("validation_failures", [])),
+            telemetry=data.get("telemetry"),
         )

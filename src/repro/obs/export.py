@@ -1,0 +1,330 @@
+"""Chrome trace-event / Perfetto export, validation and summaries.
+
+:func:`to_chrome_trace` renders the plain-dict event stream of a telemetry
+session into the Chrome trace-event JSON format (the ``{"traceEvents":
+[...]}`` envelope Perfetto and ``chrome://tracing`` load directly):
+
+* ``span`` events become ``ph:"X"`` complete events whose ``args`` carry
+  the span/parent ids, attributes and CPU time;
+* spans whose parent lives in *another process* additionally get a
+  ``ph:"s"``/``ph:"f"`` flow-event pair, so the merged trace draws an
+  arrow from the orchestrating span to each worker's fan-out;
+* ``instant`` events become ``ph:"i"``, ``counter`` samples ``ph:"C"``,
+  and process/thread naming ``ph:"M"`` metadata;
+* ``slice`` events (pre-positioned simulator-timeline tracks) become
+  ``ph:"X"`` on their own synthetic pid/tid.
+
+:func:`validate_chrome_trace` is the single schema checker shared by the
+test suite, the report CLI (``python -m repro.obs trace.json --validate``)
+and the CI tracing smoke step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "telemetry_summary",
+    "span_aggregate",
+]
+
+
+def _span_args(event: Dict[str, Any]) -> Dict[str, Any]:
+    args = dict(event.get("attrs") or {})
+    args["span_id"] = event.get("id")
+    if event.get("parent"):
+        args["parent_id"] = event["parent"]
+    if event.get("cpu_us") is not None:
+        args["cpu_us"] = event["cpu_us"]
+    return args
+
+
+def to_chrome_trace(
+    events: List[Dict[str, Any]],
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Render a session's events as a Chrome trace-event JSON object."""
+    trace_events: List[Dict[str, Any]] = []
+    spans_by_id: Dict[str, Dict[str, Any]] = {}
+    named_pids = set()
+    seen_pids = []
+    flow_serial = 0
+
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            spans_by_id[str(event.get("id"))] = event
+
+    for event in events:
+        kind = event.get("type")
+        pid = event.get("pid", 0)
+        if kind == "span":
+            if pid not in seen_pids:
+                seen_pids.append(pid)
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": str(event.get("name", "?")),
+                    "cat": str(event.get("cat", "span")),
+                    "ts": float(event.get("ts", 0.0)),
+                    "dur": float(event.get("dur", 0.0)),
+                    "pid": pid,
+                    "tid": event.get("tid", 0),
+                    "args": _span_args(event),
+                }
+            )
+            parent_id = event.get("parent")
+            parent = spans_by_id.get(str(parent_id)) if parent_id else None
+            if parent is not None and parent.get("pid") != pid:
+                # Cross-process parent: draw a flow arrow from the parent
+                # span's start to this worker-side span.
+                flow_serial += 1
+                flow_id = f"flow-{flow_serial}"
+                trace_events.append(
+                    {
+                        "ph": "s",
+                        "id": flow_id,
+                        "name": "fan-out",
+                        "cat": "flow",
+                        "ts": float(parent.get("ts", 0.0)),
+                        "pid": parent.get("pid", 0),
+                        "tid": parent.get("tid", 0),
+                    }
+                )
+                trace_events.append(
+                    {
+                        "ph": "f",
+                        "bp": "e",
+                        "id": flow_id,
+                        "name": "fan-out",
+                        "cat": "flow",
+                        "ts": float(event.get("ts", 0.0)),
+                        "pid": pid,
+                        "tid": event.get("tid", 0),
+                    }
+                )
+        elif kind == "instant":
+            if pid not in seen_pids:
+                seen_pids.append(pid)
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": str(event.get("name", "?")),
+                    "cat": str(event.get("cat", "event")),
+                    "ts": float(event.get("ts", 0.0)),
+                    "pid": pid,
+                    "tid": event.get("tid", 0),
+                    "args": dict(event.get("attrs") or {}),
+                }
+            )
+        elif kind == "slice":
+            if pid not in seen_pids:
+                seen_pids.append(pid)
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": str(event.get("name", "?")),
+                    "cat": str(event.get("cat", "timeline")),
+                    "ts": float(event.get("ts", 0.0)),
+                    "dur": float(event.get("dur", 0.0)),
+                    "pid": pid,
+                    "tid": event.get("tid", 0),
+                    "args": dict(event.get("attrs") or {}),
+                }
+            )
+        elif kind == "counter":
+            trace_events.append(
+                {
+                    "ph": "C",
+                    "name": str(event.get("name", "?")),
+                    "ts": float(event.get("ts", 0.0)),
+                    "pid": pid,
+                    "tid": event.get("tid", 0),
+                    "args": dict(event.get("values") or {}),
+                }
+            )
+        elif kind == "meta":
+            meta_kind = str(event.get("kind", "process_name"))
+            meta: Dict[str, Any] = {
+                "ph": "M",
+                "name": meta_kind,
+                "pid": pid,
+                "args": {"name": str(event.get("value", ""))},
+            }
+            if meta_kind == "thread_name":
+                meta["tid"] = event.get("tid", 0)
+            trace_events.append(meta)
+            if meta_kind == "process_name":
+                named_pids.add(pid)
+
+    # Name any process that produced events but never named itself, so the
+    # Perfetto track list stays readable for multi-worker traces.
+    for pid in seen_pids:
+        if pid not in named_pids:
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "args": {"name": f"repro pid {pid}"},
+                }
+            )
+
+    trace: Dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if metrics:
+        trace["metrics"] = metrics
+    return trace
+
+
+#: ``ph`` values the validator understands, with their required fields.
+_REQUIRED_FIELDS = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "pid", "tid"),
+    "C": ("name", "ts", "pid", "args"),
+    "M": ("name", "pid", "args"),
+    "s": ("id", "ts", "pid", "tid"),
+    "f": ("id", "ts", "pid", "tid"),
+}
+
+
+def validate_chrome_trace(trace: Dict[str, Any]) -> List[str]:
+    """Schema-shape problems of an exported trace (empty list = valid).
+
+    Checks the envelope, the per-``ph`` required fields, timestamp sanity
+    (finite, non-negative durations) and parent/child nesting: a span whose
+    ``args.parent_id`` names another span in the same process must lie
+    within its parent's interval.
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace has no 'traceEvents' list"]
+    spans: Dict[str, Dict[str, Any]] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event #{index} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _REQUIRED_FIELDS:
+            problems.append(f"event #{index} has unknown ph {ph!r}")
+            continue
+        for field in _REQUIRED_FIELDS[ph]:
+            if field not in event:
+                problems.append(
+                    f"event #{index} (ph={ph}, name={event.get('name')!r}) "
+                    f"lacks required field {field!r}"
+                )
+        ts = event.get("ts")
+        if ts is not None and (
+            not isinstance(ts, (int, float)) or ts != ts or ts < 0
+        ):
+            problems.append(f"event #{index} has bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur != dur or dur < 0:
+                problems.append(f"event #{index} has bad dur {dur!r}")
+            span_id = (event.get("args") or {}).get("span_id")
+            if span_id is not None:
+                spans[str(span_id)] = event
+    # Parent/child nesting (same-process only: cross-process clocks are
+    # consistent but not synchronized to sub-slice precision).
+    for span_id, event in spans.items():
+        parent_id = (event.get("args") or {}).get("parent_id")
+        if parent_id is None:
+            continue
+        parent = spans.get(str(parent_id))
+        if parent is None or parent.get("pid") != event.get("pid"):
+            continue
+        child_start, child_end = _interval(event)
+        parent_start, parent_end = _interval(parent)
+        epsilon = 1e-6
+        if child_start + epsilon < parent_start or child_end > parent_end + epsilon:
+            problems.append(
+                f"span {event.get('name')!r} [{child_start}, {child_end}] "
+                f"escapes parent {parent.get('name')!r} "
+                f"[{parent_start}, {parent_end}]"
+            )
+    return problems
+
+
+def _interval(event: Dict[str, Any]) -> Tuple[float, float]:
+    start = float(event.get("ts", 0.0))
+    return start, start + float(event.get("dur", 0.0))
+
+
+def span_aggregate(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-span-name aggregation of a session's raw events.
+
+    Returns one row per span name — count, total/mean/max wall seconds and
+    total CPU seconds — sorted by total wall time, which is what the report
+    CLI prints and what per-stage aggregation across a sweep reads.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        name = str(event.get("name", "?"))
+        row = totals.setdefault(
+            name,
+            {"count": 0.0, "wall_us": 0.0, "max_us": 0.0, "cpu_us": 0.0},
+        )
+        duration = float(event.get("dur", 0.0))
+        row["count"] += 1
+        row["wall_us"] += duration
+        row["max_us"] = max(row["max_us"], duration)
+        row["cpu_us"] += float(event.get("cpu_us", 0.0))
+    rows = [
+        {
+            "name": name,
+            "count": int(row["count"]),
+            "wall_seconds": row["wall_us"] / 1e6,
+            "mean_seconds": row["wall_us"] / row["count"] / 1e6,
+            "max_seconds": row["max_us"] / 1e6,
+            "cpu_seconds": row["cpu_us"] / 1e6,
+        }
+        for name, row in totals.items()
+    ]
+    rows.sort(key=lambda row: (-row["wall_seconds"], row["name"]))
+    return rows
+
+
+def telemetry_summary(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Compile vs simulate vs cache-probe time split of an event stream.
+
+    ``compile_seconds`` sums the compiler pipeline spans, ``simulate_seconds``
+    the high-fidelity simulator spans and ``cache_probe_seconds`` the
+    QoR/IR cache probe spans; ``by_category`` keeps the full breakdown.
+    The categories nest (stage spans sit inside pipeline spans), so only
+    top-level-per-category spans are meaningful to add — which is why the
+    split reads whole categories rather than individual span names.
+    """
+    by_category: Dict[str, float] = {}
+    span_count = 0
+    cache_events = 0
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            span_count += 1
+            category = str(event.get("cat", "span"))
+            by_category[category] = by_category.get(category, 0.0) + float(
+                event.get("dur", 0.0)
+            )
+        elif kind == "instant" and str(event.get("cat", "")) == "cache":
+            cache_events += 1
+    return {
+        "spans": span_count,
+        "events": len(events),
+        "cache_events": cache_events,
+        "compile_seconds": by_category.get("pipeline", 0.0) / 1e6,
+        "simulate_seconds": by_category.get("sim", 0.0) / 1e6,
+        "cache_probe_seconds": by_category.get("cache", 0.0) / 1e6,
+        "by_category_seconds": {
+            name: seconds / 1e6 for name, seconds in sorted(by_category.items())
+        },
+    }

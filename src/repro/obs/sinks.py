@@ -1,0 +1,96 @@
+"""Event sinks: in-memory collection, JSONL structured logs, fan-out.
+
+Every sink accepts the plain-dict events minted by
+:class:`~repro.obs.trace.Tracer` via ``emit(event)``; ``close()`` flushes
+and releases any resources.  The JSONL format is one JSON object per line
+with sorted keys — grep-able, append-safe and round-trippable through
+:func:`read_jsonl` (see the Perfetto exporter in :mod:`repro.obs.export`
+for the merged-trace rendering).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional
+
+__all__ = ["InMemorySink", "JsonlSink", "TeeSink", "read_jsonl", "write_jsonl"]
+
+
+class InMemorySink:
+    """Collects events in order; the default sink of a telemetry session."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Pop and return everything collected so far."""
+        drained = self.events
+        self.events = []
+        return drained
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink:
+    """Appends one sorted-key JSON object per event to ``path``.
+
+    The file opens lazily on the first event and every line is flushed as
+    written, so a crashed run still leaves a readable prefix.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle: Optional[IO[str]] = None
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        json.dump(event, self._handle, sort_keys=True)
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class TeeSink:
+    """Fans every event out to several sinks."""
+
+    def __init__(self, *sinks: Any) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL event log back into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def write_jsonl(path: str, events: List[Dict[str, Any]]) -> None:
+    """Write events as a JSONL log (the inverse of :func:`read_jsonl`)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            json.dump(event, handle, sort_keys=True)
+            handle.write("\n")

@@ -31,6 +31,7 @@ BASELINE = ROOT / "tools" / "mypy_baseline.txt"
 TARGETS = [
     "src/repro/analysis",
     "src/repro/ir",
+    "src/repro/obs",
     "src/repro/hida/analysis.py",
     "src/repro/hida/dataflow_opt.py",
     "src/repro/transforms/array_partition.py",
